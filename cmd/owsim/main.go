@@ -1,0 +1,134 @@
+// Command owsim runs a narrated end-to-end Otherworld demonstration: it
+// boots the machine, runs an application workload, injects a burst of
+// synthetic kernel faults, lets the failure manifest, microreboots into the
+// crash kernel, resurrects the application, and verifies its state against
+// the remote log — printing each stage as it happens.
+//
+// Usage:
+//
+//	owsim [-app name] [-seed n] [-faults n] [-protect] [-noharden]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"otherworld/internal/core"
+	"otherworld/internal/experiment"
+	"otherworld/internal/faultinject"
+	"otherworld/internal/hw"
+	"otherworld/internal/kernel"
+	"otherworld/internal/workload"
+
+	_ "otherworld/internal/apps" // register the paper's applications
+)
+
+func main() {
+	app := flag.String("app", "MySQL", "application: vi, JOE, MySQL, Apache/PHP, BLCR, shell")
+	seed := flag.Int64("seed", 2010, "experiment seed (replayable)")
+	faults := flag.Int("faults", 30, "faults per injection burst")
+	protect := flag.Bool("protect", false, "enable user-space protection (Section 4)")
+	noharden := flag.Bool("noharden", false, "disable the Section 6 hardening fixes")
+	flag.Parse()
+
+	if err := run(*app, *seed, *faults, *protect, *noharden); err != nil {
+		fmt.Fprintln(os.Stderr, "owsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(app string, seed int64, faults int, protect, noharden bool) error {
+	opts := core.DefaultOptions()
+	opts.HW = hw.Config{MemoryBytes: 256 << 20, NumCPUs: 2, TLBEntries: 64, WatchdogEnabled: true}
+	opts.CrashRegionMB = 16
+	opts.UserSpaceProtection = protect
+	opts.Seed = seed
+	if noharden {
+		opts.Hardening = kernel.NoHardening()
+	}
+	fmt.Printf("== Otherworld demo: %s (seed %d, protection %v, hardening %v)\n\n",
+		app, seed, protect, !noharden)
+
+	m, err := core.NewMachine(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("[%s] machine booted: %s\n", m.HW.Clock, m.HW)
+	fmt.Printf("[%s] crash kernel image resident and protected\n", m.HW.Clock)
+
+	d, err := experiment.DriverFor(app, seed+1)
+	if err != nil {
+		return err
+	}
+	if err := d.Start(m); err != nil {
+		return err
+	}
+	fmt.Printf("[%s] %s started (pid %d)\n", m.HW.Clock, d.Name(), m.K.Procs()[0].PID)
+
+	workload.RunUntilIdle(m, d, 120, 5000)
+	fmt.Printf("[%s] workload warm: %d operations acknowledged\n", m.HW.Clock, d.Acked())
+
+	inj := faultinject.New(seed ^ 0xFA17)
+	fs, err := inj.InjectBurst(m.K, faults)
+	if err != nil {
+		return err
+	}
+	byClass := map[string]int{}
+	for _, f := range fs {
+		byClass[f.Class.String()]++
+	}
+	fmt.Printf("[%s] injected %d faults: %v\n", m.HW.Clock, len(fs), byClass)
+
+	var res kernel.RunResult
+	for round := 0; round < 8 && res.Panic == nil; round++ {
+		res = workload.RunUntilIdle(m, d, 60, 2400)
+	}
+	if res.Panic == nil {
+		fmt.Printf("[%s] no injected fault manifested (the paper discards these runs)\n", m.HW.Clock)
+		return nil
+	}
+	fmt.Printf("[%s] KERNEL FAILURE: %v\n", m.HW.Clock, res.Panic)
+
+	out, err := m.HandleFailure()
+	if err != nil {
+		return err
+	}
+	if out.Result != core.ResultRecovered {
+		fmt.Printf("[%s] transfer of control FAILED: %s\n", m.HW.Clock, out.Transfer.Reason)
+		fmt.Printf("[%s] falling back to a full reboot (all volatile state lost)\n", m.HW.Clock)
+		return m.ColdReboot()
+	}
+	fmt.Printf("[%s] crash kernel booted; %d resurrection candidates found\n",
+		m.HW.Clock, len(out.Report.Candidates))
+	for _, pr := range out.Report.Procs {
+		fmt.Printf("[%s]   pid %d (%s): %s", m.HW.Clock, pr.Candidate.PID, pr.Candidate.Name, pr.Outcome)
+		if pr.CrashProcCalled {
+			fmt.Printf(" (crash procedure ran, missing: %s)", pr.Missing)
+		}
+		if pr.Err != nil {
+			fmt.Printf(" — %v", pr.Err)
+		}
+		fmt.Printf("; %d pages copied, %d re-staged, %d dirty pages flushed\n",
+			pr.PagesCopied, pr.PagesRestaged, pr.DirtyFlushed)
+	}
+	acct := out.Report.Acct
+	fmt.Printf("[%s] crash kernel read %d KB of main-kernel data (%.0f%% page tables)\n",
+		m.HW.Clock, acct.KernelDataBytes()/1024, 100*acct.PageTableFraction())
+	fmt.Printf("[%s] morphed into main kernel; service interruption %.0fs\n",
+		m.HW.Clock, out.Interruption.Seconds())
+
+	if err := d.Reattach(m); err != nil {
+		return err
+	}
+	before := d.Acked()
+	workload.RunUntilIdle(m, d, 120, 5000)
+	fmt.Printf("[%s] workload resumed: %d -> %d operations\n", m.HW.Clock, before, d.Acked())
+
+	if err := d.Verify(m); err != nil {
+		fmt.Printf("[%s] VERIFICATION FAILED: %v\n", m.HW.Clock, err)
+		return nil
+	}
+	fmt.Printf("[%s] application state verified against the remote log: no data lost\n", m.HW.Clock)
+	return nil
+}

@@ -1,0 +1,3 @@
+module otherworld
+
+go 1.22

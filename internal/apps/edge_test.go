@@ -1,0 +1,176 @@
+package apps
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEditorEdgeCases(t *testing.T) {
+	m := newMachine(t, 21)
+	p, _ := m.Start("vi", ProgVi)
+	// Backspace and undo on an empty document are harmless no-ops.
+	feedKeys(m, p.PID, string(KeyBackspace)+string(KeyUndo)+string(KeyBackspace)+"z")
+	m.Run(100)
+	snap, err := SnapshotEditor(envOf(t, m, ProgVi))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Doc != "z" || snap.UndoLen != 1 {
+		t.Fatalf("doc=%q undo=%d", snap.Doc, snap.UndoLen)
+	}
+	if snap.Keys != 4 {
+		t.Fatalf("keys = %d", snap.Keys)
+	}
+}
+
+func TestEditorRepeatedSaves(t *testing.T) {
+	m := newMachine(t, 22)
+	p, _ := m.Start("vi", ProgVi)
+	feedKeys(m, p.PID, "ab"+string(KeySave)+string(KeyBackspace)+string(KeySave))
+	m.Run(100)
+	data, err := m.FS.ReadFile("/home/user/vi.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The second save is shorter; the length prefix must reflect it even
+	// though the file still holds the longer first image's bytes.
+	n := uint64(data[0]) | uint64(data[1])<<8
+	if n != 1 || data[8] != 'a' {
+		t.Fatalf("prefix=%d data=%q", n, data[8:])
+	}
+}
+
+func TestMySQLRecoveryFileEdgeCases(t *testing.T) {
+	// An empty recovery file must not break startup.
+	m := newMachine(t, 23)
+	if err := m.FS.WriteFile("/var/lib/mysql/recovery.dat", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Start("mysqld", ProgMySQL); err != nil {
+		t.Fatalf("empty recovery file: %v", err)
+	}
+	if resp := mysqlExec(t, m, "I 1 fresh"); resp != "OK I 1 1" {
+		t.Fatalf("insert after empty recovery: %q", resp)
+	}
+
+	// A recovery file with garbage lines loads what it can.
+	m2 := newMachine(t, 24)
+	img := "3\n5 3 abc\nnot a row\n9 3 xyz\n"
+	if err := m2.FS.WriteFile("/var/lib/mysql/recovery.dat", []byte(img)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.Start("mysqld", ProgMySQL); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := MySQLSnapshot(envOf(t, m2, ProgMySQL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || string(rows[5]) != "abc" || string(rows[9]) != "xyz" {
+		t.Fatalf("rows = %v", rows)
+	}
+	// Rowids continue above the recovered maximum.
+	if resp := mysqlExec(t, m2, "I 1 next"); resp != "OK I 1 10" {
+		t.Fatalf("post-recovery rowid: %q", resp)
+	}
+	// The recovery image is consumed: a restart must not double-load.
+	size, _ := m2.FS.Size("/var/lib/mysql/recovery.dat")
+	if size != 0 {
+		t.Fatalf("recovery file not consumed: %d bytes", size)
+	}
+}
+
+func TestMySQLRowPayloadTruncated(t *testing.T) {
+	m := newMachine(t, 25)
+	if _, err := m.Start("mysqld", ProgMySQL); err != nil {
+		t.Fatal(err)
+	}
+	long := strings.Repeat("x", MySQLRowDataCap+50)
+	if resp := mysqlExec(t, m, "I 1 "+long); resp != "OK I 1 1" {
+		t.Fatalf("oversized insert: %q", resp)
+	}
+	rows, _ := MySQLSnapshot(envOf(t, m, ProgMySQL))
+	if len(rows[1]) != MySQLRowDataCap {
+		t.Fatalf("stored %d bytes", len(rows[1]))
+	}
+}
+
+func TestMySQLMalformedRequests(t *testing.T) {
+	m := newMachine(t, 26)
+	if _, err := m.Start("mysqld", ProgMySQL); err != nil {
+		t.Fatal(err)
+	}
+	for _, req := range []string{"", "I", "U 1 notanum v", "Z 1 2", "D 1 xyz"} {
+		resp := mysqlExec(t, m, req)
+		if !strings.HasPrefix(resp, "ERR") {
+			t.Fatalf("request %q: %q", req, resp)
+		}
+	}
+	// The server is still healthy.
+	if resp := mysqlExec(t, m, "I 9 ok"); resp != "OK I 9 1" {
+		t.Fatalf("after garbage: %q", resp)
+	}
+}
+
+func TestApacheSessionValueTruncated(t *testing.T) {
+	m := newMachine(t, 27)
+	if _, err := m.Start("apache", ProgApache); err != nil {
+		t.Fatal(err)
+	}
+	long := strings.Repeat("y", ApacheSessionDataCap+30)
+	if resp := apacheExec(t, m, "S 1 7 "+long); resp != "OK 1" {
+		t.Fatalf("oversized set: %q", resp)
+	}
+	sessions, _ := ApacheSnapshot(envOf(t, m, ProgApache))
+	if len(sessions[7]) != ApacheSessionDataCap {
+		t.Fatalf("stored %d bytes", len(sessions[7]))
+	}
+}
+
+func TestApacheMalformedRequests(t *testing.T) {
+	m := newMachine(t, 28)
+	if _, err := m.Start("apache", ProgApache); err != nil {
+		t.Fatal(err)
+	}
+	for _, req := range []string{"", "S", "S 1 notanum v", "X 1 2"} {
+		resp := apacheExec(t, m, req)
+		if !strings.HasPrefix(resp, "ERR") {
+			t.Fatalf("request %q: %q", req, resp)
+		}
+	}
+}
+
+func TestVolanoRoomBounds(t *testing.T) {
+	m := newMachine(t, 29)
+	if _, err := m.Start("volano", ProgVolano); err != nil {
+		t.Fatal(err)
+	}
+	var resp string
+	m.Net.OnRemote(VolanoPort, func(p []byte) { resp = string(p) })
+	m.Net.Deliver(VolanoPort, []byte("M 1 999 hi"))
+	m.Run(50)
+	if resp != "ERR room" {
+		t.Fatalf("out-of-range room: %q", resp)
+	}
+}
+
+func TestShellHistoryCapDoesNotOverflow(t *testing.T) {
+	m := newMachine(t, 30)
+	p, _ := m.Start("sh", ProgShell)
+	budget := 200
+	m.Consoles.AttachInput(p.PID, func() (byte, bool) {
+		if budget == 0 {
+			return 0, false
+		}
+		budget--
+		return 'k', true
+	})
+	m.Run(2000)
+	snap, err := SnapshotShell(envOf(t, m, ProgShell))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.History) != 200 {
+		t.Fatalf("history = %d", len(snap.History))
+	}
+}

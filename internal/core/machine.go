@@ -1,0 +1,342 @@
+// Package core is Otherworld's public API: a simulated machine whose main
+// kernel keeps a passive crash kernel resident in a protected memory
+// reservation, and which — on a kernel failure — transfers control to it,
+// resurrects the selected application processes from the dead kernel's
+// memory image, and morphs the crash kernel into the new main kernel
+// (Sections 3.1–3.6 of the paper).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"otherworld/internal/fs"
+	"otherworld/internal/hw"
+	"otherworld/internal/kernel"
+	"otherworld/internal/phys"
+	"otherworld/internal/resurrect"
+	"otherworld/internal/sim"
+)
+
+// Options configures a machine.
+type Options struct {
+	// HW sizes the hardware (memory, CPUs, TLB, watchdog).
+	HW hw.Config
+	// CrashRegionMB is the size of the crash-kernel reservation; the
+	// paper suggests 64 MB (Section 3.1).
+	CrashRegionMB int
+	// VerifyCRC enables record-checksum validation (Section 4).
+	VerifyCRC bool
+	// UserSpaceProtection enables the protected mode measured in Table 3.
+	UserSpaceProtection bool
+	// Hardening selects the Section 6 robustness fixes.
+	Hardening kernel.Hardening
+	// Resurrection selects which processes to revive after a microreboot
+	// (the resurrection configuration file of Section 3.3).
+	Resurrection resurrect.Config
+	// Seed drives all simulated nondeterminism.
+	Seed int64
+	// SwapSlotsPerPartition sizes each of the two swap partitions.
+	SwapSlotsPerPartition int
+	// MapPagesResurrection enables the footnote-3 optimization: the crash
+	// kernel maps resident pages in place instead of copying them.
+	MapPagesResurrection bool
+	// ResurrectIPC enables the Section 7 future-work extension: sockets
+	// and (unlocked) pipes are resurrected instead of reported missing.
+	ResurrectIPC bool
+	// FastCrashBoot enables the Section 7 initialization optimizations:
+	// part of the crash kernel's init runs when it is installed, and it
+	// exploits the dead kernel's device information instead of a full
+	// probe, shrinking the service interruption.
+	FastCrashBoot bool
+}
+
+// DefaultOptions returns the paper's experimental configuration: 1 GB VM,
+// two CPUs, 64 MB crash reservation, all hardening on, CRC validation on,
+// user-space protection off (the zero-overhead default mode).
+func DefaultOptions() Options {
+	return Options{
+		HW:                    hw.DefaultConfig(),
+		CrashRegionMB:         64,
+		VerifyCRC:             true,
+		Hardening:             kernel.FullHardening(),
+		Resurrection:          resurrect.Config{All: true},
+		SwapSlotsPerPartition: 16384, // 64 MB per partition
+	}
+}
+
+// swap partition device names; the kernels alternate between them
+// (Section 3.2's two-swap-partition design).
+var swapDevNames = [2]string{"/dev/swap0", "/dev/swap1"}
+
+// Machine is a running Otherworld system.
+type Machine struct {
+	HW       *hw.Machine
+	FS       *fs.FlatFS
+	Net      *kernel.Network
+	Consoles *kernel.ConsoleHub
+
+	// K is the current main kernel.
+	K *kernel.Kernel
+
+	opts Options
+	cost sim.CostModel
+
+	// slots are the two alternating crash-kernel reservations at the top
+	// of physical memory; imageSlot indexes the one currently holding the
+	// protected image.
+	slots     [2]phys.Region
+	imageSlot int
+	// swapIdx is the partition the current main kernel swaps to.
+	swapIdx int
+
+	// Reboots counts completed microreboots.
+	Reboots int
+	// LastOutcome records the most recent failure handling.
+	LastOutcome *FailureOutcome
+
+	kernelSeq int64
+}
+
+// FailureResult classifies how a kernel failure ended.
+type FailureResult int
+
+// Failure results.
+const (
+	// ResultRecovered means the microreboot succeeded and the machine is
+	// running under the morphed crash kernel.
+	ResultRecovered FailureResult = iota
+	// ResultSystemDown means control never reached the crash kernel; only
+	// a full (cold) reboot can recover — Table 5's "failure to boot the
+	// crash kernel".
+	ResultSystemDown
+)
+
+func (r FailureResult) String() string {
+	if r == ResultRecovered {
+		return "recovered"
+	}
+	return "system-down"
+}
+
+// FailureOutcome is the complete record of one handled kernel failure.
+type FailureOutcome struct {
+	Result FailureResult
+	// Panic is the kernel failure that triggered the microreboot.
+	Panic *kernel.PanicEvent
+	// Transfer reports the main→crash control transfer.
+	Transfer kernel.TransferOutcome
+	// Report is the resurrection report (nil if the transfer failed).
+	Report *resurrect.Report
+	// Interruption is the virtual time from failure to the machine
+	// running again under the new main kernel (Table 6's third column,
+	// before any service restart costs the workload adds).
+	Interruption time.Duration
+}
+
+// NewMachine powers on a machine, cold-boots the main kernel and loads the
+// crash kernel image into the reservation.
+func NewMachine(opts Options) (*Machine, error) {
+	if opts.HW.MemoryBytes == 0 {
+		opts.HW = hw.DefaultConfig()
+	}
+	if opts.CrashRegionMB <= 0 {
+		opts.CrashRegionMB = 64
+	}
+	if opts.SwapSlotsPerPartition <= 0 {
+		opts.SwapSlotsPerPartition = 16384
+	}
+	m := &Machine{
+		HW:       hw.NewMachine(opts.HW),
+		FS:       fs.New(),
+		Net:      kernel.NewNetwork(),
+		Consoles: kernel.NewConsoleHub(),
+		opts:     opts,
+		cost:     sim.DefaultCostModel(),
+	}
+	total := m.HW.Mem.NumFrames()
+	crashFrames := opts.CrashRegionMB << 20 / phys.PageSize
+	if 2*crashFrames >= total {
+		return nil, fmt.Errorf("core: %d MB of memory cannot hold two %d MB crash slots",
+			m.HW.Mem.Size()>>20, opts.CrashRegionMB)
+	}
+	m.slots[0] = phys.Region{Start: total - 2*crashFrames, Frames: crashFrames}
+	m.slots[1] = phys.Region{Start: total - crashFrames, Frames: crashFrames}
+	m.imageSlot = 1
+
+	for _, name := range swapDevNames {
+		m.HW.Bus.Attach(newSwapPartition(name, opts.SwapSlotsPerPartition))
+	}
+
+	// The BIOS and boot loader run before the kernel (Table 6 cold-boot
+	// accounting); kernel.Boot charges the rest.
+	m.HW.Clock.Advance(m.cost.BIOS + m.cost.BootLoader)
+
+	k, err := kernel.Boot(m.HW, m.FS, m.kernelParams(), kernel.BootOptions{
+		Region: phys.Region{Start: 0, Frames: m.slots[m.imageSlot].Start},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: cold boot: %w", err)
+	}
+	m.K = k
+	m.HW.Clock.Advance(m.cost.InitScripts)
+	if err := k.LoadCrashImage(); err != nil {
+		return nil, fmt.Errorf("core: load crash image: %w", err)
+	}
+	return m, nil
+}
+
+// kernelParams assembles kernel parameters for the next kernel generation.
+func (m *Machine) kernelParams() kernel.Params {
+	m.kernelSeq++
+	return kernel.Params{
+		VerifyCRC:           m.opts.VerifyCRC,
+		UserSpaceProtection: m.opts.UserSpaceProtection,
+		Hardening:           m.opts.Hardening,
+		SwapDevice:          swapDevNames[m.swapIdx],
+		CrashRegion:         m.slots[m.imageSlot],
+		Seed:                m.opts.Seed*1000003 + m.kernelSeq,
+		Net:                 m.Net,
+		Consoles:            m.Consoles,
+	}
+}
+
+// Run drives the scheduler for at most maxSteps quanta.
+func (m *Machine) Run(maxSteps int) kernel.RunResult {
+	return m.K.Run(maxSteps)
+}
+
+// Start launches a named program (the fork+exec path).
+func (m *Machine) Start(name, program string) (*kernel.Process, error) {
+	return m.K.CreateProcess(name, program)
+}
+
+// ErrNoFailure is returned by HandleFailure when the kernel has not failed.
+var ErrNoFailure = errors.New("core: kernel has not failed")
+
+// HandleFailure runs the whole Otherworld response to a kernel failure:
+// transfer of control, crash-kernel boot, application resurrection, and the
+// morph into a new main kernel with a fresh crash image loaded. On a failed
+// transfer the machine is down and only ColdReboot can revive it.
+func (m *Machine) HandleFailure() (*FailureOutcome, error) {
+	pe := m.K.Panicked()
+	if pe == nil {
+		return nil, ErrNoFailure
+	}
+	started := m.HW.Clock.Now()
+	out := &FailureOutcome{Panic: pe}
+	out.Transfer = m.K.AttemptTransfer()
+	if !out.Transfer.OK {
+		out.Result = ResultSystemDown
+		m.LastOutcome = out
+		return out, nil
+	}
+
+	// The transfer stub removes the hardware protection from the crash
+	// kernel image and jumps to its entry point (Section 3.2).
+	img := m.slots[m.imageSlot]
+	for f := img.Start; f < img.End(); f++ {
+		_ = m.HW.Mem.Protect(f, false)
+		_ = m.HW.Mem.SetKind(f, phys.FrameFree)
+	}
+	m.HW.ResetCPUs()
+
+	// Boot the crash kernel inside the reservation, swapping to the
+	// other partition so the dead kernel's swapped pages stay readable.
+	m.swapIdx = 1 - m.swapIdx
+	params := m.kernelParams()
+	params.FastBoot = m.opts.FastCrashBoot
+	crashK, err := kernel.Boot(m.HW, m.FS, params, kernel.BootOptions{
+		Region:        img,
+		BootCount:     m.K.Globals.BootCount, // morphing increments it
+		IsCrashKernel: true,
+	})
+	if err != nil {
+		// The crash kernel image failed to initialize; the system is
+		// down. (With an intact protected image this does not happen —
+		// the paper observed 100% crash-kernel boot success.)
+		out.Result = ResultSystemDown
+		out.Transfer.OK = false
+		out.Transfer.Reason = "crash kernel initialization failed: " + err.Error()
+		m.LastOutcome = out
+		return out, nil
+	}
+
+	// Crash-kernel-specific startup work and the shared init scripts
+	// (Section 3.2: same scripts, same mounts, the other swap partition).
+	// The fast-boot optimization pre-executed the extra work at image
+	// install time (Section 7).
+	if m.opts.FastCrashBoot {
+		m.HW.Clock.Advance(m.cost.InitScripts)
+	} else {
+		m.HW.Clock.Advance(m.cost.CrashExtra + m.cost.InitScripts)
+	}
+
+	// Grant the crash kernel working memory for resurrection copies: all
+	// currently-free frames outside the dead kernel's footprint and
+	// outside the alternate slot, which must stay clear for the next
+	// crash image (the "extra page descriptors" of Section 3.2).
+	nextSlot := m.slots[1-m.imageSlot]
+	crashK.Alloc.AddFreeFrames(m.HW.Mem, phys.Region{Start: 0, Frames: nextSlot.Start})
+
+	engine := resurrect.NewEngine(crashK, kernel.GlobalsAddr, m.opts.VerifyCRC)
+	engine.MapPages = m.opts.MapPagesResurrection
+	engine.ResurrectIPC = m.opts.ResurrectIPC
+	out.Report = engine.Run(m.opts.Resurrection)
+
+	// Morph (Section 3.6): reclaim all memory, reserve the other slot,
+	// load a fresh crash image, become the main kernel.
+	if err := crashK.AdoptAllMemory(); err != nil {
+		return nil, fmt.Errorf("core: morph: %w", err)
+	}
+	m.imageSlot = 1 - m.imageSlot
+	for f := nextSlot.Start; f < nextSlot.End(); f++ {
+		if err := crashK.Alloc.Claim(f, phys.FrameCrashImage); err != nil {
+			return nil, fmt.Errorf("core: reserve next crash slot: %w", err)
+		}
+	}
+	crashK.P.CrashRegion = nextSlot
+	if err := crashK.LoadCrashImage(); err != nil {
+		return nil, fmt.Errorf("core: load fresh crash image: %w", err)
+	}
+
+	// Sockets died with the main kernel: drop undelivered inbound data.
+	m.Net.FlushInbound()
+
+	m.K = crashK
+	m.Reboots++
+	out.Result = ResultRecovered
+	out.Interruption = m.HW.Clock.Since(started)
+	m.LastOutcome = out
+	return out, nil
+}
+
+// ColdReboot recovers a machine whose transfer failed: the full reboot the
+// paper's baseline world always performs. All volatile state is lost; the
+// file system survives.
+func (m *Machine) ColdReboot() error {
+	m.HW.Clock.Advance(m.cost.BIOS + m.cost.BootLoader)
+	m.HW.ResetCPUs()
+	m.HW.TLB.Flush()
+	// Wipe frame state: a reboot reinitializes memory ownership.
+	for f := 0; f < m.HW.Mem.NumFrames(); f++ {
+		_ = m.HW.Mem.Protect(f, false)
+		_ = m.HW.Mem.SetKind(f, phys.FrameFree)
+	}
+	m.imageSlot = 1
+	m.swapIdx = 0
+	k, err := kernel.Boot(m.HW, m.FS, m.kernelParams(), kernel.BootOptions{
+		Region: phys.Region{Start: 0, Frames: m.slots[m.imageSlot].Start},
+	})
+	if err != nil {
+		return fmt.Errorf("core: cold reboot: %w", err)
+	}
+	m.K = k
+	m.HW.Clock.Advance(m.cost.InitScripts)
+	m.Net.FlushInbound()
+	return k.LoadCrashImage()
+}
+
+// Cost exposes the virtual-time model for experiment harnesses.
+func (m *Machine) Cost() sim.CostModel { return m.cost }

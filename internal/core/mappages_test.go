@@ -1,0 +1,55 @@
+package core
+
+import (
+	"testing"
+
+	"otherworld/internal/kernel"
+	"otherworld/internal/phys"
+)
+
+// TestMapPagesResurrection exercises the footnote-3 fast path: pages are
+// adopted in place instead of copied, contents stay intact, and the
+// resurrection consumes far less virtual time for the same process.
+func TestMapPagesResurrection(t *testing.T) {
+	run := func(mapPages bool) (content bool, interruption float64) {
+		m := newTestMachine(t, func(o *Options) { o.MapPagesResurrection = mapPages })
+		p, err := m.Start("big", "big-prog")
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = p
+		_ = m.K.InjectOops("x")
+		out, err := m.HandleFailure()
+		if err != nil || out.Result != ResultRecovered {
+			t.Fatalf("recover: %v %v", out, err)
+		}
+		pr := out.Report.Procs[0]
+		if pr.Err != nil {
+			t.Fatalf("mapPages=%v: %v", mapPages, pr.Err)
+		}
+		np := m.K.Lookup(pr.NewPID)
+		env := &kernel.Env{K: m.K, P: np}
+		ok := true
+		for i := 0; i < bigPages; i++ {
+			v, err := env.ReadU64(bigVA + uint64(i)*phys.PageSize)
+			if err != nil || v != uint64(i)*7+1 {
+				ok = false
+				break
+			}
+		}
+		// Writes still work on adopted pages.
+		if err := env.WriteU64(bigVA, 424242); err != nil {
+			t.Fatalf("mapPages=%v: write after resurrection: %v", mapPages, err)
+		}
+		return ok, out.Report.Duration.Seconds()
+	}
+
+	okCopy, copyTime := run(false)
+	okMap, mapTime := run(true)
+	if !okCopy || !okMap {
+		t.Fatalf("content intact: copy=%v map=%v", okCopy, okMap)
+	}
+	if mapTime >= copyTime {
+		t.Fatalf("map-pages resurrection (%.6fs) should beat copying (%.6fs)", mapTime, copyTime)
+	}
+}

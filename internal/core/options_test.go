@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+
+	"otherworld/internal/hw"
+)
+
+func TestNewMachineRejectsOversizedCrashRegion(t *testing.T) {
+	opts := DefaultOptions()
+	opts.HW = hw.Config{MemoryBytes: 64 << 20, NumCPUs: 1, TLBEntries: 8, WatchdogEnabled: true}
+	opts.CrashRegionMB = 64 // two 64 MB slots cannot fit in 64 MB
+	if _, err := NewMachine(opts); err == nil {
+		t.Fatal("oversized crash region should fail")
+	}
+}
+
+func TestNewMachineDefaults(t *testing.T) {
+	m, err := NewMachine(Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.HW.Mem.Size() != 1<<30 {
+		t.Fatalf("default memory = %d", m.HW.Mem.Size())
+	}
+	if m.K == nil || m.K.Swap() == nil {
+		t.Fatal("kernel or swap missing")
+	}
+}
+
+func TestHandleFailureWithoutPanic(t *testing.T) {
+	m := newTestMachine(t, nil)
+	if _, err := m.HandleFailure(); err != ErrNoFailure {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStartUnknownProgram(t *testing.T) {
+	m := newTestMachine(t, nil)
+	if _, err := m.Start("x", "not-registered"); err == nil {
+		t.Fatal("unknown program should fail")
+	}
+}
+
+func TestFailureOutcomeRecorded(t *testing.T) {
+	m := newTestMachine(t, nil)
+	_, _ = m.Start("c", "counter")
+	_ = m.K.InjectOops("x")
+	out, err := m.HandleFailure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.LastOutcome != out {
+		t.Fatal("LastOutcome not recorded")
+	}
+	if out.Panic == nil || out.Panic.Reason != "x" {
+		t.Fatalf("panic = %+v", out.Panic)
+	}
+}
+
+// TestSystemDownPathLeavesMachineRecoverable: when the transfer fails, the
+// machine is down until ColdReboot, after which it works again.
+func TestSystemDownPathLeavesMachineRecoverable(t *testing.T) {
+	// Break the transfer by disabling the watchdog and wedging the kernel.
+	m := newTestMachine(t, func(o *Options) {
+		o.HW.WatchdogEnabled = false
+		o.Hardening.WatchdogNMI = false
+	})
+	_, _ = m.Start("c", "counter")
+	// Wedge: a hang with no watchdog cannot transfer.
+	m.K.RaiseHangForTest()
+	out, err := m.HandleFailure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Result != ResultSystemDown {
+		t.Fatalf("result = %v", out.Result)
+	}
+	if err := m.ColdReboot(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Start("c", "counter"); err != nil {
+		t.Fatal(err)
+	}
+	if res := m.Run(10); res.Panic != nil {
+		t.Fatalf("panic after recovery: %v", res.Panic)
+	}
+}

@@ -1,0 +1,8 @@
+package core
+
+import "otherworld/internal/disk"
+
+// newSwapPartition builds the block device backing one swap partition.
+func newSwapPartition(name string, slots int) *disk.BlockDevice {
+	return disk.NewBlockDevice(name, slots)
+}

@@ -1,0 +1,148 @@
+package disk
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockDeviceRoundTrip(t *testing.T) {
+	d := NewBlockDevice("/dev/sda", 8)
+	data := []byte("block payload")
+	if err := d.WriteBlock(3, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.ReadBlock(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:len(data)], data) {
+		t.Fatalf("got %q", got[:len(data)])
+	}
+	// Unwritten blocks read as zeroes.
+	z, err := d.ReadBlock(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range z {
+		if b != 0 {
+			t.Fatal("unwritten block not zero")
+		}
+	}
+}
+
+func TestBlockDeviceBounds(t *testing.T) {
+	d := NewBlockDevice("/dev/sda", 2)
+	if _, err := d.ReadBlock(2); err == nil {
+		t.Fatal("read past end")
+	}
+	if err := d.WriteBlock(-1, nil); err == nil {
+		t.Fatal("negative block")
+	}
+	if err := d.WriteBlock(0, make([]byte, BlockSize+1)); err == nil {
+		t.Fatal("oversized write")
+	}
+}
+
+func TestBusOpenByName(t *testing.T) {
+	b := NewBus()
+	b.Attach(NewBlockDevice("/dev/swap1", 4))
+	b.Attach(NewBlockDevice("/dev/swap0", 4))
+	d, err := b.Open("/dev/swap0")
+	if err != nil || d.Name() != "/dev/swap0" {
+		t.Fatalf("open: %v %v", d, err)
+	}
+	if _, err := b.Open("/dev/nope"); !errors.Is(err, ErrNoDevice) {
+		t.Fatalf("want ErrNoDevice, got %v", err)
+	}
+	names := b.Names()
+	if len(names) != 2 || names[0] != "/dev/swap0" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestSwapAllocReadFree(t *testing.T) {
+	s := NewSwapDevice(NewBlockDevice("/dev/swap0", 4))
+	page := bytes.Repeat([]byte{7}, BlockSize)
+	slot, err := s.Alloc(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Read(slot)
+	if err != nil || !bytes.Equal(got, page) {
+		t.Fatalf("read back mismatch: %v", err)
+	}
+	if s.FreeSlots() != 3 {
+		t.Fatalf("free = %d", s.FreeSlots())
+	}
+	s.Free(slot)
+	if s.FreeSlots() != 4 {
+		t.Fatalf("free after Free = %d", s.FreeSlots())
+	}
+	s.Free(slot) // double free is a no-op
+	if s.FreeSlots() != 4 {
+		t.Fatal("double free changed accounting")
+	}
+}
+
+func TestSwapFull(t *testing.T) {
+	s := NewSwapDevice(NewBlockDevice("/dev/swap0", 2))
+	if _, err := s.Alloc(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Alloc(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Alloc(nil); !errors.Is(err, ErrSwapFull) {
+		t.Fatalf("want ErrSwapFull, got %v", err)
+	}
+}
+
+// TestSwapContentsSurviveBitmapLoss is the two-kernel property: a fresh
+// SwapDevice (new bitmap, dead kernel's slots forgotten) can still read the
+// old contents raw — how the crash kernel re-stages swapped pages.
+func TestSwapContentsSurviveBitmapLoss(t *testing.T) {
+	dev := NewBlockDevice("/dev/swap0", 4)
+	old := NewSwapDevice(dev)
+	page := bytes.Repeat([]byte{0xAB}, BlockSize)
+	slot, err := old.Alloc(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "Kernel crash": the bitmap is gone, the device remains.
+	got, err := ReadRaw(dev, slot)
+	if err != nil || !bytes.Equal(got, page) {
+		t.Fatalf("raw read after crash: %v", err)
+	}
+}
+
+func TestSwapSlotsIndependentProperty(t *testing.T) {
+	f := func(a, b byte) bool {
+		s := NewSwapDevice(NewBlockDevice("/dev/swap0", 4))
+		pa := bytes.Repeat([]byte{a}, BlockSize)
+		pb := bytes.Repeat([]byte{b}, BlockSize)
+		sa, err1 := s.Alloc(pa)
+		sb, err2 := s.Alloc(pb)
+		if err1 != nil || err2 != nil || sa == sb {
+			return false
+		}
+		ga, _ := s.Read(sa)
+		gb, _ := s.Read(sb)
+		return bytes.Equal(ga, pa) && bytes.Equal(gb, pb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeviceStats(t *testing.T) {
+	d := NewBlockDevice("/dev/sda", 4)
+	_ = d.WriteBlock(0, []byte{1})
+	_, _ = d.ReadBlock(0)
+	_, _ = d.ReadBlock(1)
+	r, w := d.Stats()
+	if r != 2 || w != 1 {
+		t.Fatalf("stats = %d reads %d writes", r, w)
+	}
+}

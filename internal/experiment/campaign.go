@@ -1,0 +1,235 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"otherworld/internal/kernel"
+)
+
+// Table5Row aggregates a campaign for one application into the paper's
+// Table 5 columns.
+type Table5Row struct {
+	App string
+	// N is the number of experiments that manifested a kernel fault (the
+	// paper observes 400 per application).
+	N int
+	// Discarded counts injections that never caused a kernel failure.
+	Discarded int
+	// Success, BootFailure, ResurrectFailure and CorruptNoProt are
+	// fractions of N from the unprotected campaign.
+	Success       float64
+	BootFailure   float64
+	ResurrectFail float64
+	CorruptNoProt float64
+	// CorruptProt is the corruption fraction from the protected campaign
+	// (Table 5's "with user space protected" sub-column).
+	CorruptProt float64
+	// ProtN is the protected campaign's faulted-experiment count.
+	ProtN int
+	// StructCorrupt counts resurrection failures caused by detected
+	// main-kernel record corruption (the "3 of 2000" statistic).
+	StructCorrupt int
+	// Reasons tallies boot-failure transfer reasons for diagnostics.
+	Reasons map[string]int
+}
+
+// CampaignConfig parameterizes a Table 5 campaign.
+type CampaignConfig struct {
+	// Apps lists the applications to test (AppNames by default).
+	Apps []string
+	// PerApp is the number of faulted experiments per application (the
+	// paper: 400).
+	PerApp int
+	// Seed bases the replayable experiment seeds.
+	Seed int64
+	// Hardening selects the Section 6 fixes; the ablation flips this.
+	Hardening kernel.Hardening
+	// VerifyCRC enables record checksums (the Section 4 ablation flips
+	// this).
+	VerifyCRC bool
+	// Workers bounds parallelism (NumCPU by default).
+	Workers int
+	// SkipProtected skips the protected-mode corruption sub-campaign.
+	SkipProtected bool
+	// MemoryMB sizes experiment machines.
+	MemoryMB int
+}
+
+// DefaultCampaign returns the paper's campaign shape scaled by perApp.
+func DefaultCampaign(perApp int, seed int64) CampaignConfig {
+	return CampaignConfig{
+		Apps:      AppNames,
+		PerApp:    perApp,
+		Seed:      seed,
+		Hardening: kernel.FullHardening(),
+		VerifyCRC: true,
+		MemoryMB:  256,
+	}
+}
+
+// tally is one campaign pass's raw counts.
+type tally struct {
+	n, discarded                      int
+	success, boot, resurrect, corrupt int
+	structCorrupt                     int
+	reasons                           map[string]int
+}
+
+// runCampaignPass collects `want` faulted experiments for one app.
+func runCampaignPass(cfg CampaignConfig, app string, protection bool, want int, seedSalt int64) tally {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > want {
+		workers = want
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	t := tally{reasons: make(map[string]int)}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	// Generous attempt budget: ~20% of runs are expected to be no-fault.
+	attempts := want * 3
+	work := make(chan int64, attempts)
+	for i := 0; i < attempts; i++ {
+		work <- cfg.Seed + seedSalt + int64(i)*7919
+	}
+	close(work)
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for seed := range work {
+				mu.Lock()
+				if t.n >= want {
+					mu.Unlock()
+					return
+				}
+				mu.Unlock()
+
+				ecfg := DefaultConfig(app, seed)
+				ecfg.Protection = protection
+				ecfg.Hardening = cfg.Hardening
+				ecfg.VerifyCRC = cfg.VerifyCRC
+				if cfg.MemoryMB > 0 {
+					ecfg.MemoryMB = cfg.MemoryMB
+				}
+				res := Run(ecfg)
+
+				mu.Lock()
+				if res.Outcome == OutcomeNoKernelFault {
+					t.discarded++
+					mu.Unlock()
+					continue
+				}
+				if t.n >= want {
+					mu.Unlock()
+					return
+				}
+				t.n++
+				switch res.Outcome {
+				case OutcomeSuccess:
+					t.success++
+				case OutcomeBootFailure:
+					t.boot++
+					t.reasons[res.TransferReason]++
+				case OutcomeResurrectFailure:
+					t.resurrect++
+					if res.StructCorruption {
+						t.structCorrupt++
+					}
+				case OutcomeDataCorruption:
+					t.corrupt++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return t
+}
+
+// RunTable5 runs the full Table 5 campaign: an unprotected pass providing
+// the success/boot-failure/resurrect-failure/corruption columns and a
+// protected pass providing the protected-corruption sub-column.
+func RunTable5(cfg CampaignConfig) []Table5Row {
+	if len(cfg.Apps) == 0 {
+		cfg.Apps = AppNames
+	}
+	rows := make([]Table5Row, 0, len(cfg.Apps))
+	for i, app := range cfg.Apps {
+		base := runCampaignPass(cfg, app, false, cfg.PerApp, int64(i)*1_000_000)
+		row := Table5Row{
+			App:           app,
+			N:             base.n,
+			Discarded:     base.discarded,
+			StructCorrupt: base.structCorrupt,
+			Reasons:       base.reasons,
+		}
+		if base.n > 0 {
+			row.Success = float64(base.success) / float64(base.n)
+			row.BootFailure = float64(base.boot) / float64(base.n)
+			row.ResurrectFail = float64(base.resurrect) / float64(base.n)
+			row.CorruptNoProt = float64(base.corrupt) / float64(base.n)
+		}
+		if !cfg.SkipProtected {
+			prot := runCampaignPass(cfg, app, true, cfg.PerApp, int64(i)*1_000_000+500_000)
+			row.ProtN = prot.n
+			if prot.n > 0 {
+				row.CorruptProt = float64(prot.corrupt) / float64(prot.n)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// RenderTable5 formats campaign rows like the paper's Table 5.
+func RenderTable5(rows []Table5Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-11s %13s %17s %21s %31s\n",
+		"Application", "Successful", "Failure to boot", "Failure to resurrect", "Data corruption with/without")
+	fmt.Fprintf(&b, "%-11s %13s %17s %21s %31s\n",
+		"", "resurrection", "the crash kernel", "application", "user space protected")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-11s %12.2f%% %16.2f%% %20.2f%% %14.2f%% / %.2f%%\n",
+			r.App, 100*r.Success, 100*r.BootFailure, 100*r.ResurrectFail,
+			100*r.CorruptProt, 100*r.CorruptNoProt)
+	}
+	return b.String()
+}
+
+// Totals summarizes a campaign: total faulted runs, discarded runs and the
+// kernel-structure-corruption count the paper reports in prose.
+func Totals(rows []Table5Row) (faulted, discarded, structCorrupt int) {
+	for _, r := range rows {
+		faulted += r.N
+		discarded += r.Discarded
+		structCorrupt += r.StructCorrupt
+	}
+	return faulted, discarded, structCorrupt
+}
+
+// TopReasons returns boot-failure reasons sorted by frequency.
+func TopReasons(rows []Table5Row) []string {
+	counts := make(map[string]int)
+	for _, r := range rows {
+		for reason, n := range r.Reasons {
+			counts[reason] += n
+		}
+	}
+	out := make([]string, 0, len(counts))
+	for reason, n := range counts {
+		out = append(out, fmt.Sprintf("%4dx %s", n, reason))
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(out)))
+	return out
+}

@@ -1,0 +1,48 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCompareRecoveryModes checks the introduction's three-world story: only
+// Otherworld preserves volatile state; only KDump produces a dump; all
+// three get the machine back.
+func TestCompareRecoveryModes(t *testing.T) {
+	rows, err := CompareRecoveryModes("MySQL", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byMode := map[RecoveryMode]CompareRow{}
+	for _, r := range rows {
+		byMode[r.Mode] = r
+		if r.Interruption <= 0 {
+			t.Fatalf("%v: zero interruption", r.Mode)
+		}
+	}
+	if byMode[ModeReboot].StatePreserved || byMode[ModeKDump].StatePreserved {
+		t.Fatal("baselines must lose volatile state")
+	}
+	if !byMode[ModeOtherworld].StatePreserved {
+		t.Fatal("Otherworld must preserve state")
+	}
+	if byMode[ModeKDump].DumpBytes == 0 {
+		t.Fatal("KDump must produce a dump")
+	}
+	if byMode[ModeReboot].DumpBytes != 0 || byMode[ModeOtherworld].DumpBytes != 0 {
+		t.Fatal("only KDump dumps")
+	}
+	// KDump pays the dump on top of the reboot.
+	if byMode[ModeKDump].Interruption < byMode[ModeReboot].Interruption {
+		t.Fatal("KDump should cost at least a full reboot")
+	}
+	out := RenderComparison("MySQL", rows)
+	for _, want := range []string{"Otherworld", "KDump", "full reboot", "true", "false"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,254 @@
+// Package experiment reproduces the paper's evaluation (Section 6): the
+// fault-injection campaigns behind Table 5, the protection-overhead
+// measurements behind Table 3, the resurrection byte accounting behind
+// Table 4, the service-interruption timings behind Table 6, and the
+// 89%→97% hardening ablation.
+package experiment
+
+import (
+	"fmt"
+
+	"otherworld/internal/core"
+	"otherworld/internal/faultinject"
+	"otherworld/internal/hw"
+	"otherworld/internal/kernel"
+	"otherworld/internal/layout"
+	"otherworld/internal/resurrect"
+	"otherworld/internal/workload"
+)
+
+// Outcome classifies one fault-injection experiment, mapping onto Table 5's
+// columns.
+type Outcome int
+
+// Experiment outcomes.
+const (
+	// OutcomeNoKernelFault: the injected faults never manifested; the
+	// paper discards these (~20% of runs).
+	OutcomeNoKernelFault Outcome = iota
+	// OutcomeSuccess: the application was resurrected and its data
+	// verified against the remote log.
+	OutcomeSuccess
+	// OutcomeBootFailure: control never reached the crash kernel
+	// (Table 5, "failure to boot the crash kernel").
+	OutcomeBootFailure
+	// OutcomeResurrectFailure: main-kernel structure corruption (or an
+	// unrecoverable resource) prevented resurrection (Table 5 column 4).
+	OutcomeResurrectFailure
+	// OutcomeDataCorruption: the application came back but its data
+	// diverged from the remote log (Table 5 last column).
+	OutcomeDataCorruption
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeNoKernelFault:
+		return "no-kernel-fault"
+	case OutcomeSuccess:
+		return "success"
+	case OutcomeBootFailure:
+		return "boot-failure"
+	case OutcomeResurrectFailure:
+		return "resurrect-failure"
+	case OutcomeDataCorruption:
+		return "data-corruption"
+	}
+	return fmt.Sprintf("Outcome(%d)", int(o))
+}
+
+// AppNames lists the five Table 5 applications.
+var AppNames = []string{"vi", "JOE", "MySQL", "Apache/PHP", "BLCR"}
+
+// DriverFor builds the workload driver for one of the paper's application
+// names (the Table 5 set plus Volano and the shell).
+func DriverFor(app string, seed int64) (workload.Driver, error) {
+	switch app {
+	case "vi":
+		return workload.NewEditorDriver("vi", "vi", seed), nil
+	case "JOE":
+		return workload.NewEditorDriver("joe", "joe", seed), nil
+	case "MySQL":
+		return workload.NewMySQLDriver(seed), nil
+	case "Apache/PHP":
+		return workload.NewApacheDriver(seed), nil
+	case "BLCR":
+		return workload.NewBLCRDriver(seed), nil
+	case "Volano":
+		return workload.NewVolanoDriver(seed), nil
+	case "shell":
+		return workload.NewShellDriver(seed), nil
+	}
+	return nil, fmt.Errorf("experiment: unknown application %q", app)
+}
+
+// Config parameterizes one fault-injection experiment.
+type Config struct {
+	// App is the Table 5 application name.
+	App string
+	// Seed makes the experiment replayable.
+	Seed int64
+	// Protection enables user-space protection (Section 4).
+	Protection bool
+	// Hardening selects the Section 6 fixes (FullHardening by default via
+	// DefaultConfig).
+	Hardening kernel.Hardening
+	// VerifyCRC enables record checksums.
+	VerifyCRC bool
+	// FaultsPerRun is the injection burst size (the paper uses 30).
+	FaultsPerRun int
+	// MemoryMB sizes the experiment machine.
+	MemoryMB int
+}
+
+// DefaultConfig returns the paper's experiment parameters.
+func DefaultConfig(app string, seed int64) Config {
+	return Config{
+		App:          app,
+		Seed:         seed,
+		Hardening:    kernel.FullHardening(),
+		VerifyCRC:    true,
+		FaultsPerRun: 30,
+		MemoryMB:     256,
+	}
+}
+
+// Result records one experiment.
+type Result struct {
+	Outcome Outcome
+	// Panic is the kernel failure, if one manifested.
+	Panic *kernel.PanicEvent
+	// TransferReason explains a failed transfer.
+	TransferReason string
+	// ResurrectErr explains a failed resurrection.
+	ResurrectErr error
+	// VerifyErr explains detected data corruption.
+	VerifyErr error
+	// StructCorruption is set when the resurrection failure was a
+	// detected corruption of main-kernel records (the "3 cases out of
+	// 2000" statistic).
+	StructCorruption bool
+	// AckedOps is the workload progress across the whole experiment.
+	AckedOps int
+}
+
+// Run executes one complete fault-injection experiment: boot, warm up the
+// workload, inject a burst of faults, run until a kernel failure manifests
+// (or give up and discard), microreboot, resurrect, reattach the workload,
+// run further, and verify against the remote log.
+func Run(cfg Config) Result {
+	if cfg.FaultsPerRun <= 0 {
+		cfg.FaultsPerRun = 30
+	}
+	if cfg.MemoryMB <= 0 {
+		cfg.MemoryMB = 256
+	}
+	opts := core.DefaultOptions()
+	opts.HW = hw.Config{
+		MemoryBytes:     cfg.MemoryMB << 20,
+		NumCPUs:         2,
+		TLBEntries:      64,
+		WatchdogEnabled: true,
+	}
+	opts.CrashRegionMB = 16
+	opts.VerifyCRC = cfg.VerifyCRC
+	opts.UserSpaceProtection = cfg.Protection
+	opts.Hardening = cfg.Hardening
+	opts.Seed = cfg.Seed
+
+	m, err := core.NewMachine(opts)
+	if err != nil {
+		return Result{Outcome: OutcomeResurrectFailure, ResurrectErr: err}
+	}
+	d, err := DriverFor(cfg.App, cfg.Seed+7777)
+	if err != nil {
+		return Result{Outcome: OutcomeResurrectFailure, ResurrectErr: err}
+	}
+	if err := d.Start(m); err != nil {
+		return Result{Outcome: OutcomeResurrectFailure, ResurrectErr: err}
+	}
+
+	// Warm up for a seed-dependent amount of work ("we injected faults
+	// after a random amount of time").
+	warm := 40 + int(cfg.Seed%97)
+	workload.RunUntilIdle(m, d, warm, warm*40)
+
+	inj := faultinject.New(cfg.Seed ^ 0x5EEDFA17)
+	if _, err := inj.InjectBurst(m.K, cfg.FaultsPerRun); err != nil {
+		return Result{Outcome: OutcomeResurrectFailure, ResurrectErr: err}
+	}
+
+	// Run until a failure manifests; several pump rounds bound the run.
+	var res kernel.RunResult
+	for round := 0; round < 6; round++ {
+		res = workload.RunUntilIdle(m, d, 60, 2400)
+		if res.Panic != nil {
+			break
+		}
+	}
+	if res.Panic == nil {
+		return Result{Outcome: OutcomeNoKernelFault, AckedOps: d.Acked()}
+	}
+	out := Result{Panic: res.Panic}
+
+	fo, err := m.HandleFailure()
+	if err != nil {
+		out.Outcome = OutcomeBootFailure
+		out.TransferReason = err.Error()
+		return out
+	}
+	if fo.Result != core.ResultRecovered {
+		out.Outcome = OutcomeBootFailure
+		out.TransferReason = fo.Transfer.Reason
+		return out
+	}
+
+	// Locate our application's resurrection report.
+	var found bool
+	for _, pr := range fo.Report.Procs {
+		if pr.Candidate.Program == d.Program() {
+			found = true
+			if pr.Outcome == resurrect.OutcomeContinued || pr.Outcome == resurrect.OutcomeRestarted {
+				break
+			}
+			if pr.Outcome == resurrect.OutcomeGaveUp {
+				// The crash procedure's own integrity check found the
+				// application state damaged — detected data corruption.
+				out.Outcome = OutcomeDataCorruption
+				out.VerifyErr = fmt.Errorf("crash procedure found state corrupted and gave up")
+				return out
+			}
+			out.Outcome = OutcomeResurrectFailure
+			out.ResurrectErr = pr.Err
+			out.StructCorruption = pr.Err != nil && layout.IsCorruption(pr.Err)
+			return out
+		}
+	}
+	if !found {
+		out.Outcome = OutcomeResurrectFailure
+		out.ResurrectErr = fmt.Errorf("process not found in dead kernel's process list")
+		out.StructCorruption = true
+		return out
+	}
+
+	if err := d.Reattach(m); err != nil {
+		out.Outcome = OutcomeResurrectFailure
+		out.ResurrectErr = err
+		return out
+	}
+	post := workload.RunUntilIdle(m, d, 60, 2400)
+	if post.Panic != nil {
+		// A second, fresh-kernel failure right after recovery: treat as
+		// a resurrection failure (should be vanishingly rare).
+		out.Outcome = OutcomeResurrectFailure
+		out.ResurrectErr = post.Panic
+		return out
+	}
+	out.AckedOps = d.Acked()
+	if err := d.Verify(m); err != nil {
+		out.Outcome = OutcomeDataCorruption
+		out.VerifyErr = err
+		return out
+	}
+	out.Outcome = OutcomeSuccess
+	return out
+}

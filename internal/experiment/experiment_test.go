@@ -1,0 +1,133 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSingleExperimentOutcomes(t *testing.T) {
+	// A handful of seeded experiments must complete without harness
+	// errors and produce only the defined outcomes.
+	for i := int64(0); i < 6; i++ {
+		cfg := DefaultConfig("vi", 100+i*31)
+		res := Run(cfg)
+		switch res.Outcome {
+		case OutcomeNoKernelFault, OutcomeSuccess, OutcomeBootFailure,
+			OutcomeResurrectFailure, OutcomeDataCorruption:
+		default:
+			t.Fatalf("seed %d: undefined outcome %v", cfg.Seed, res.Outcome)
+		}
+		if res.Outcome == OutcomeSuccess && res.AckedOps == 0 {
+			t.Fatalf("seed %d: success with no progress", cfg.Seed)
+		}
+	}
+}
+
+func TestExperimentDeterministic(t *testing.T) {
+	cfg := DefaultConfig("MySQL", 777)
+	a := Run(cfg)
+	b := Run(cfg)
+	if a.Outcome != b.Outcome || a.AckedOps != b.AckedOps {
+		t.Fatalf("same seed diverged: %v/%d vs %v/%d", a.Outcome, a.AckedOps, b.Outcome, b.AckedOps)
+	}
+}
+
+func TestUnknownApp(t *testing.T) {
+	if _, err := DriverFor("photoshop", 1); err == nil {
+		t.Fatal("unknown app should error")
+	}
+}
+
+func TestSmallCampaignAggregates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign in -short mode")
+	}
+	cfg := DefaultCampaign(6, 321)
+	cfg.Apps = []string{"vi"}
+	cfg.SkipProtected = true
+	rows := RunTable5(cfg)
+	if len(rows) != 1 || rows[0].N != 6 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	r := rows[0]
+	sum := r.Success + r.BootFailure + r.ResurrectFail + r.CorruptNoProt
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("fractions sum to %v", sum)
+	}
+	out := RenderTable5(rows)
+	if !strings.Contains(out, "vi") || !strings.Contains(out, "%") {
+		t.Fatalf("render: %q", out)
+	}
+}
+
+func TestTable6ShellMatchesCostModel(t *testing.T) {
+	row, err := MeasureTable6("shell", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.BootTime.Seconds() < 60 || row.BootTime.Seconds() > 70 {
+		t.Fatalf("shell boot = %v", row.BootTime)
+	}
+	if row.Interruption.Seconds() < 50 || row.Interruption.Seconds() > 58 {
+		t.Fatalf("shell interruption = %v", row.Interruption)
+	}
+	if row.Interruption >= row.BootTime {
+		t.Fatal("interruption should beat a cold boot")
+	}
+}
+
+func TestTable4ShapeMatchesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table 4 in -short mode")
+	}
+	rows, err := RunTable4(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byApp := map[string]Table4Row{}
+	for _, r := range rows {
+		byApp[r.App] = r
+		// Page tables dominate the data read (the paper's 60-83%).
+		if r.PageTableFraction < 0.5 {
+			t.Fatalf("%s page-table fraction = %v", r.App, r.PageTableFraction)
+		}
+		if r.KernelBytes <= 0 {
+			t.Fatalf("%s kernel bytes = %d", r.App, r.KernelBytes)
+		}
+	}
+	// The ordering property: bigger applications need more kernel data.
+	if byApp["BLCR"].KernelBytes <= byApp["vi"].KernelBytes {
+		t.Fatalf("BLCR (%d) should read more than vi (%d)",
+			byApp["BLCR"].KernelBytes, byApp["vi"].KernelBytes)
+	}
+}
+
+func TestRenderTable1Mentions(t *testing.T) {
+	out := RenderTable1()
+	for _, want := range []string{"Crash procedure defined", "resurrection fails", "continues"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table 1 render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestProtectionNeverFaster is the directional property behind Table 3:
+// user-space protection can only add TLB misses and cycles, never remove
+// them, for every benchmark workload.
+func TestProtectionNeverFaster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("protection sweep in -short mode")
+	}
+	for _, app := range Table3Benchmarks {
+		row, err := MeasureTable3(app, 80, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", app, err)
+		}
+		if row.Overhead < 0 {
+			t.Fatalf("%s: negative overhead %v", app, row.Overhead)
+		}
+		if row.TLBMissIncrease < 0 {
+			t.Fatalf("%s: protection reduced TLB misses (%v)", app, row.TLBMissIncrease)
+		}
+	}
+}

@@ -1,0 +1,21 @@
+package experiment
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestParallelExperimentsRaceFree runs experiments concurrently, as the
+// campaign does; with -race this validates the shared registries.
+func TestParallelExperimentsRaceFree(t *testing.T) {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			cfg := DefaultConfig("vi", seed)
+			_ = Run(cfg)
+		}(int64(1000 + i))
+	}
+	wg.Wait()
+}

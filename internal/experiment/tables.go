@@ -1,0 +1,295 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"otherworld/internal/core"
+	"otherworld/internal/hw"
+	"otherworld/internal/resurrect"
+	"otherworld/internal/workload"
+)
+
+// --- Table 3: overhead of user-space protection ---------------------------
+
+// Table3Row is one benchmark's protection overhead.
+type Table3Row struct {
+	Benchmark string
+	// TLBMissIncrease is (protected misses / baseline misses) - 1.
+	TLBMissIncrease float64
+	// Overhead is (protected cycles / baseline cycles) - 1.
+	Overhead float64
+	// Ops is the measured operation count (identical in both runs).
+	Ops int
+}
+
+// Table3Benchmarks lists the paper's Table 3 workloads.
+var Table3Benchmarks = []string{"MySQL", "Apache/PHP", "Volano"}
+
+// measureRun drives a workload for exactly ops acknowledged operations and
+// returns the cycle and TLB-miss deltas over the measurement window.
+func measureRun(app string, ops int, seed int64, protection bool) (cycles, misses uint64, acked int, err error) {
+	opts := core.DefaultOptions()
+	opts.HW = hw.Config{MemoryBytes: 256 << 20, NumCPUs: 2, TLBEntries: 64, WatchdogEnabled: true}
+	opts.CrashRegionMB = 16
+	opts.UserSpaceProtection = protection
+	opts.Seed = seed
+	m, err := core.NewMachine(opts)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	d, err := DriverFor(app, seed+1)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if err := d.Start(m); err != nil {
+		return 0, 0, 0, err
+	}
+	// Warm the TLB and caches before the measurement window.
+	workload.RunUntilIdle(m, d, ops/10+5, (ops/10+5)*50)
+	c0 := m.K.Perf.Cycles
+	m0 := m.K.M.TLB.Misses
+	a0 := d.Acked()
+	for d.Acked() < a0+ops {
+		res := workload.RunUntilIdle(m, d, ops, ops*60)
+		if res.Panic != nil {
+			return 0, 0, 0, fmt.Errorf("panic during measurement: %v", res.Panic)
+		}
+		if res.Idle && d.Acked() == a0 {
+			return 0, 0, 0, fmt.Errorf("workload idle with no progress")
+		}
+	}
+	return m.K.Perf.Cycles - c0, m.K.M.TLB.Misses - m0, d.Acked() - a0, nil
+}
+
+// MeasureTable3 runs one benchmark with protection off and on and returns
+// the overhead row.
+func MeasureTable3(app string, ops int, seed int64) (Table3Row, error) {
+	baseCycles, baseMisses, n0, err := measureRun(app, ops, seed, false)
+	if err != nil {
+		return Table3Row{}, fmt.Errorf("%s baseline: %w", app, err)
+	}
+	protCycles, protMisses, n1, err := measureRun(app, ops, seed, true)
+	if err != nil {
+		return Table3Row{}, fmt.Errorf("%s protected: %w", app, err)
+	}
+	// Normalize per op in case the rounds differ slightly.
+	bc := float64(baseCycles) / float64(n0)
+	pc := float64(protCycles) / float64(n1)
+	bm := float64(baseMisses) / float64(n0)
+	pm := float64(protMisses) / float64(n1)
+	row := Table3Row{Benchmark: app, Ops: n0}
+	if bm > 0 {
+		row.TLBMissIncrease = pm/bm - 1
+	}
+	if bc > 0 {
+		row.Overhead = pc/bc - 1
+	}
+	return row, nil
+}
+
+// RunTable3 measures every Table 3 benchmark.
+func RunTable3(ops int, seed int64) ([]Table3Row, error) {
+	rows := make([]Table3Row, 0, len(Table3Benchmarks))
+	for _, b := range Table3Benchmarks {
+		row, err := MeasureTable3(b, ops, seed)
+		if err != nil {
+			return rows, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderTable3 formats rows like the paper's Table 3.
+func RenderTable3(rows []Table3Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-11s %23s %21s\n", "Benchmark", "Increase in TLB misses", "Performance overhead")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-11s %22.0f%% %20.1f%%\n", r.Benchmark, 100*r.TLBMissIncrease, 100*r.Overhead)
+	}
+	return b.String()
+}
+
+// --- Table 4: data read by the crash kernel --------------------------------
+
+// Table4Row is one application's resurrection byte accounting.
+type Table4Row struct {
+	App string
+	// KernelBytes is the main-kernel data the crash kernel read.
+	KernelBytes int64
+	// PageTableFraction is the page-table share of KernelBytes.
+	PageTableFraction float64
+	// UserBytes is the application page data copied (not counted by the
+	// paper's table, reported for context).
+	UserBytes int64
+}
+
+// MeasureTable4 runs the workload, induces a clean panic, and measures what
+// the crash kernel read while resurrecting the application.
+func MeasureTable4(app string, seed int64) (Table4Row, error) {
+	opts := core.DefaultOptions()
+	opts.HW = hw.Config{MemoryBytes: 256 << 20, NumCPUs: 2, TLBEntries: 64, WatchdogEnabled: true}
+	opts.CrashRegionMB = 16
+	opts.Seed = seed
+	m, err := core.NewMachine(opts)
+	if err != nil {
+		return Table4Row{}, err
+	}
+	d, err := DriverFor(app, seed+1)
+	if err != nil {
+		return Table4Row{}, err
+	}
+	if err := d.Start(m); err != nil {
+		return Table4Row{}, err
+	}
+	res := workload.RunUntilIdle(m, d, 150, 6000)
+	if res.Panic != nil {
+		return Table4Row{}, fmt.Errorf("panic during workload: %v", res.Panic)
+	}
+	if err := m.K.InjectOops("table 4 measurement"); err == nil {
+		return Table4Row{}, fmt.Errorf("InjectOops did not panic")
+	}
+	fo, err := m.HandleFailure()
+	if err != nil {
+		return Table4Row{}, err
+	}
+	if fo.Result != core.ResultRecovered {
+		return Table4Row{}, fmt.Errorf("transfer failed: %s", fo.Transfer.Reason)
+	}
+	acct := fo.Report.Acct
+	return Table4Row{
+		App:               app,
+		KernelBytes:       acct.KernelDataBytes(),
+		PageTableFraction: acct.PageTableFraction(),
+		UserBytes:         acct.ByCategory[resurrect.CatUserData],
+	}, nil
+}
+
+// RunTable4 measures every Table 4 application.
+func RunTable4(seed int64) ([]Table4Row, error) {
+	rows := make([]Table4Row, 0, len(AppNames))
+	for _, app := range AppNames {
+		row, err := MeasureTable4(app, seed)
+		if err != nil {
+			return rows, fmt.Errorf("%s: %w", app, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderTable4 formats rows like the paper's Table 4.
+func RenderTable4(rows []Table4Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-11s %14s %12s\n", "Application", "Kernel memory", "Page tables")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-11s %11d KB %11.0f%%\n", r.App, r.KernelBytes/1024, 100*r.PageTableFraction)
+	}
+	return b.String()
+}
+
+// --- Table 6: service interruption time ------------------------------------
+
+// Table6Row is one workload's boot and interruption timing.
+type Table6Row struct {
+	App string
+	// BootTime is power-button to workload-operational (virtual time).
+	BootTime time.Duration
+	// Interruption is failure to workload-operational-again.
+	Interruption time.Duration
+}
+
+// Table6Workloads lists the paper's Table 6 rows.
+var Table6Workloads = []string{"shell", "MySQL", "Apache/PHP"}
+
+// MeasureTable6 measures a workload's cold-boot time and its service
+// interruption across a microreboot.
+func MeasureTable6(app string, seed int64) (Table6Row, error) {
+	opts := core.DefaultOptions()
+	opts.HW = hw.Config{MemoryBytes: 256 << 20, NumCPUs: 2, TLBEntries: 64, WatchdogEnabled: true}
+	opts.CrashRegionMB = 16
+	opts.Seed = seed
+	m, err := core.NewMachine(opts)
+	if err != nil {
+		return Table6Row{}, err
+	}
+	d, err := DriverFor(app, seed+1)
+	if err != nil {
+		return Table6Row{}, err
+	}
+	if err := d.Start(m); err != nil {
+		return Table6Row{}, err
+	}
+	// Operational = the first operation acknowledged.
+	for d.Acked() == 0 {
+		if res := workload.RunUntilIdle(m, d, 5, 200); res.Panic != nil {
+			return Table6Row{}, fmt.Errorf("panic during boot measurement: %v", res.Panic)
+		}
+	}
+	row := Table6Row{App: app, BootTime: m.HW.Clock.Now()}
+
+	// Let the workload settle, then fail the kernel.
+	workload.RunUntilIdle(m, d, 100, 4000)
+	failedAt := m.HW.Clock.Now()
+	if err := m.K.InjectOops("table 6 measurement"); err == nil {
+		return Table6Row{}, fmt.Errorf("InjectOops did not panic")
+	}
+	fo, err := m.HandleFailure()
+	if err != nil {
+		return Table6Row{}, err
+	}
+	if fo.Result != core.ResultRecovered {
+		return Table6Row{}, fmt.Errorf("transfer failed: %s", fo.Transfer.Reason)
+	}
+	if err := d.Reattach(m); err != nil {
+		return Table6Row{}, err
+	}
+	before := d.Acked()
+	for d.Acked() <= before {
+		if res := workload.RunUntilIdle(m, d, 5, 200); res.Panic != nil {
+			return Table6Row{}, fmt.Errorf("panic during recovery measurement: %v", res.Panic)
+		}
+	}
+	row.Interruption = m.HW.Clock.Now() - failedAt
+	return row, nil
+}
+
+// RunTable6 measures every Table 6 workload.
+func RunTable6(seed int64) ([]Table6Row, error) {
+	rows := make([]Table6Row, 0, len(Table6Workloads))
+	for _, app := range Table6Workloads {
+		row, err := MeasureTable6(app, seed)
+		if err != nil {
+			return rows, fmt.Errorf("%s: %w", app, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderTable6 formats rows like the paper's Table 6 (seconds).
+func RenderTable6(rows []Table6Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-11s %10s %26s\n", "Application", "Boot time", "Service interruption time")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-11s %9.0fs %25.0fs\n", r.App, r.BootTime.Seconds(), r.Interruption.Seconds())
+	}
+	return b.String()
+}
+
+// --- Tables 1 and 2: policy matrix and application modifications -----------
+
+// RenderTable1 prints the resurrection-policy matrix (Table 1), which the
+// property tests in package resurrect verify behaviourally.
+func RenderTable1() string {
+	return strings.Join([]string{
+		"                        | Crash procedure defined            | No crash procedure defined",
+		"All resources           | procedure may save data and restart| execution continues from the",
+		"were resurrected        | or instruct the kernel to continue | interruption point",
+		"Some resources          | procedure may restore resources and| resurrection fails",
+		"could not be            | continue, or save state and restart|",
+		"resurrected             | (bitmask reports what is missing)  |",
+	}, "\n") + "\n"
+}

@@ -1,0 +1,127 @@
+// Package faultinject implements the synthetic fault-injection methodology
+// of Section 6: the injector "originally developed at the University of
+// Michigan for evaluating the reliability of the Rio File Cache and later
+// used for evaluating Nooks reliability". Each fault changes a single
+// integer value on the kernel stack of a random thread, or a single
+// instruction or instruction operand in the kernel code, emulating stack
+// corruption, uninitialized variables, incorrect testing conditions,
+// incorrect function parameters and wild writes.
+//
+// Faults are latent: they manifest only when the kernel later executes the
+// corrupted instruction or consumes the corrupted stack word, so a burst of
+// injections may produce no kernel failure at all (about 20% of the paper's
+// experiments, which it discards).
+package faultinject
+
+import (
+	"fmt"
+
+	"otherworld/internal/kernel"
+	"otherworld/internal/phys"
+	"otherworld/internal/sim"
+)
+
+// Class is the kind of a single injected fault.
+type Class int
+
+// Fault classes, mirroring the Rio/Nooks injector.
+const (
+	// ClassStackInt overwrites one integer on a random thread's kernel
+	// stack.
+	ClassStackInt Class = iota
+	// ClassTextInstr corrupts one byte of a kernel instruction.
+	ClassTextInstr
+	// ClassTextOperand corrupts one byte of an instruction operand
+	// (modelled as a text byte at an odd offset with a larger delta).
+	ClassTextOperand
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassStackInt:
+		return "stack-int"
+	case ClassTextInstr:
+		return "text-instruction"
+	case ClassTextOperand:
+		return "text-operand"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// Fault records one injected corruption.
+type Fault struct {
+	Class Class
+	// Addr is the physical address corrupted.
+	Addr uint64
+	// PID is the victim thread for stack faults.
+	PID uint32
+}
+
+// Injector drives fault injection with its own deterministic stream.
+type Injector struct {
+	rng *sim.RNG
+}
+
+// New returns an injector seeded for replay.
+func New(seed int64) *Injector {
+	return &Injector{rng: sim.NewRNG(seed)}
+}
+
+// InjectOne applies a single fault to the running kernel, returning what
+// was done. It never injects into the protected crash-kernel image — the
+// paper's point is precisely that memory hardware shields it; wild *writes*
+// at manifestation time may still bounce off the protection and be counted
+// there.
+func (in *Injector) InjectOne(k *kernel.Kernel) (Fault, error) {
+	roll := in.rng.Float64()
+	switch {
+	case roll < 0.5:
+		return in.injectStack(k)
+	case roll < 0.8:
+		return in.injectText(k, ClassTextInstr)
+	default:
+		return in.injectText(k, ClassTextOperand)
+	}
+}
+
+// InjectBurst applies n faults (the paper injects 30 at a time).
+func (in *Injector) InjectBurst(k *kernel.Kernel, n int) ([]Fault, error) {
+	faults := make([]Fault, 0, n)
+	for i := 0; i < n; i++ {
+		f, err := in.InjectOne(k)
+		if err != nil {
+			return faults, err
+		}
+		faults = append(faults, f)
+	}
+	return faults, nil
+}
+
+// injectStack overwrites a random aligned integer on a random live
+// thread's kernel stack.
+func (in *Injector) injectStack(k *kernel.Kernel) (Fault, error) {
+	procs := k.Procs()
+	if len(procs) == 0 {
+		return in.injectText(k, ClassTextInstr)
+	}
+	p := procs[in.rng.Pick(len(procs))]
+	off := uint64(in.rng.Intn(phys.PageSize/4)) * 4
+	addr := p.D.KStack + off
+	junk := make([]byte, 4)
+	in.rng.Read(junk)
+	if err := k.M.Mem.WriteAt(addr, junk); err != nil {
+		return Fault{}, fmt.Errorf("faultinject: stack write: %w", err)
+	}
+	return Fault{Class: ClassStackInt, Addr: addr, PID: p.PID}, nil
+}
+
+// injectText flips one byte of kernel code.
+func (in *Injector) injectText(k *kernel.Kernel, class Class) (Fault, error) {
+	off := in.rng.Intn(k.Text.Size())
+	delta := byte(1 + in.rng.Intn(255))
+	addr, err := k.Text.CorruptByte(off, delta)
+	if err != nil {
+		return Fault{}, err
+	}
+	return Fault{Class: class, Addr: addr}, nil
+}

@@ -1,0 +1,57 @@
+package hw
+
+import "time"
+
+// Device is one piece of probe-able hardware. Driver probing dominates both
+// cold boots and crash-kernel boots (footnote 2: the crash kernel loads the
+// same drivers and re-initializes devices from scratch); the Section 7
+// optimization skips re-probing devices whose configuration the dead kernel
+// already knew.
+type Device struct {
+	// Name identifies the device ("sata0", "eth0", ...).
+	Name string
+	// ProbeTime is the driver's probe-and-initialize cost.
+	ProbeTime time.Duration
+	// Reprobeable reports whether the crash kernel can safely reuse the
+	// dead kernel's configuration for this device instead of re-probing
+	// (most devices; not ones with volatile state like the GPU).
+	Reprobeable bool
+}
+
+// DefaultDevices is the simulated machine's hardware complement. The probe
+// times sum to the cost model's DriverProbe (27 s), keeping the Table 6
+// calibration.
+func DefaultDevices() []Device {
+	return []Device{
+		{Name: "sata0", ProbeTime: 9 * time.Second, Reprobeable: true},
+		{Name: "eth0", ProbeTime: 6 * time.Second, Reprobeable: true},
+		{Name: "usb0", ProbeTime: 5 * time.Second, Reprobeable: true},
+		{Name: "vga0", ProbeTime: 4 * time.Second, Reprobeable: false},
+		{Name: "wdt0", ProbeTime: 3 * time.Second, Reprobeable: true},
+	}
+}
+
+// ProbeAll returns the full probe cost, paid on cold boots and stock
+// crash-kernel boots.
+func ProbeAll(devs []Device) time.Duration {
+	var total time.Duration
+	for _, d := range devs {
+		total += d.ProbeTime
+	}
+	return total
+}
+
+// ProbeChangedOnly returns the cost when the dead kernel's device
+// information is reused: only non-reprobeable devices pay full price, the
+// rest a fixed sanity-check fraction.
+func ProbeChangedOnly(devs []Device) time.Duration {
+	var total time.Duration
+	for _, d := range devs {
+		if d.Reprobeable {
+			total += d.ProbeTime / 10
+		} else {
+			total += d.ProbeTime
+		}
+	}
+	return total
+}

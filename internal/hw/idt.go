@@ -1,0 +1,86 @@
+package hw
+
+import (
+	"encoding/binary"
+
+	"otherworld/internal/phys"
+)
+
+// The interrupt descriptor table lives in a fixed physical frame. The
+// transfer of control from the main kernel to the crash kernel depends on a
+// handful of its entries being intact — the paper notes Otherworld "is
+// sensitive to the corruption of certain kernel page entries and the
+// interrupt descriptor table" (Section 6), and that sensitivity is the main
+// source of failure-to-boot outcomes in Table 5. Storing the IDT as raw
+// bytes in simulated memory exposes it to wild writes exactly like the rest
+// of kernel state.
+
+// IDTFrame is the fixed physical frame holding the IDT.
+const IDTFrame = 1
+
+// IDTAddr is the physical address of the IDT.
+const IDTAddr = uint64(IDTFrame) * phys.PageSize
+
+// Interrupt vectors the transfer path depends on.
+const (
+	// VecNMI is the non-maskable interrupt vector used to halt CPUs and,
+	// with the watchdog hardening, to recover from stalls.
+	VecNMI = 2
+	// VecDoubleFault is the double-fault vector; the paper's hardening
+	// fixes its handler to start the microreboot instead of stopping.
+	VecDoubleFault = 8
+	// VecKexec is the descriptor through which control jumps to the crash
+	// kernel's entry point (the kexec path).
+	VecKexec = 31
+)
+
+// NumVectors is the number of IDT slots.
+const NumVectors = 32
+
+// idtEntrySize is 16 bytes per vector: a sentinel and the handler address.
+const idtEntrySize = 16
+
+const idtEntryMagic uint32 = 0x49445445 // "IDTE"
+
+// WriteIDTEntry installs a handler address for a vector. Like real gate
+// descriptors, entries carry no checksum: corruption is only discovered
+// when the vector fires.
+func WriteIDTEntry(mem *phys.Mem, vector int, handler uint64) error {
+	var buf [idtEntrySize]byte
+	binary.LittleEndian.PutUint32(buf[0:], idtEntryMagic)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(vector))
+	binary.LittleEndian.PutUint64(buf[8:], handler)
+	return mem.WriteAt(IDTAddr+uint64(vector)*idtEntrySize, buf[:])
+}
+
+// ReadIDTEntry fetches a vector's handler address. ok reports whether the
+// gate descriptor is structurally intact; a corrupted descriptor makes the
+// hardware jump fail, which the panic path observes as an inability to
+// reach the crash kernel.
+func ReadIDTEntry(mem *phys.Mem, vector int) (handler uint64, ok bool) {
+	var buf [idtEntrySize]byte
+	if err := mem.ReadAt(IDTAddr+uint64(vector)*idtEntrySize, buf[:]); err != nil {
+		return 0, false
+	}
+	if binary.LittleEndian.Uint32(buf[0:]) != idtEntryMagic {
+		return 0, false
+	}
+	if binary.LittleEndian.Uint32(buf[4:]) != uint32(vector) {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(buf[8:]), true
+}
+
+// InstallIDT claims the IDT frame from the allocator and writes the standard
+// vector set, each pointing at the given handler base plus the vector index.
+func InstallIDT(mem *phys.Mem, alloc *phys.FrameAllocator, handlerBase uint64) error {
+	if err := alloc.Claim(IDTFrame, phys.FrameKernelText); err != nil {
+		return err
+	}
+	for v := 0; v < NumVectors; v++ {
+		if err := WriteIDTEntry(mem, v, handlerBase+uint64(v)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

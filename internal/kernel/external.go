@@ -1,0 +1,100 @@
+package kernel
+
+// The external world: remote network peers and the user at the physical
+// console. These objects live *outside* the kernel — they are shared across
+// kernel generations by the machine harness, exactly like the remote client
+// and logging computer in the paper's experiments (Section 6) — but any
+// in-flight state a kernel held about them (socket payloads, keyboard
+// queues) dies with the kernel.
+
+// Network is the wire between the machine and remote peers. Inbound bytes
+// queue per local port until a socket reads them; outbound sends invoke the
+// remote peer's handler synchronously (the "remote computer" logging
+// workload progress).
+type Network struct {
+	inbound map[uint16][][]byte
+	remote  map[uint16]func(payload []byte)
+	// Dropped counts inbound messages discarded because no socket was
+	// listening (e.g. queued while the kernel was down).
+	Dropped int
+}
+
+// NewNetwork returns an empty wire.
+func NewNetwork() *Network {
+	return &Network{
+		inbound: make(map[uint16][][]byte),
+		remote:  make(map[uint16]func([]byte)),
+	}
+}
+
+// Deliver queues an inbound message for a local port (a remote client
+// sending a request).
+func (n *Network) Deliver(port uint16, payload []byte) {
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	n.inbound[port] = append(n.inbound[port], cp)
+}
+
+// Pending returns how many inbound messages are queued for a port.
+func (n *Network) Pending(port uint16) int { return len(n.inbound[port]) }
+
+// take removes the next inbound message for a port.
+func (n *Network) take(port uint16) ([]byte, bool) {
+	q := n.inbound[port]
+	if len(q) == 0 {
+		return nil, false
+	}
+	n.inbound[port] = q[1:]
+	return q[0], true
+}
+
+// OnRemote registers the remote peer reached by sends from the given local
+// port. It models the established connection's other end.
+func (n *Network) OnRemote(port uint16, handler func(payload []byte)) {
+	n.remote[port] = handler
+}
+
+// send pushes a payload to the remote peer of a port.
+func (n *Network) send(port uint16, payload []byte) {
+	if h := n.remote[port]; h != nil {
+		cp := make([]byte, len(payload))
+		copy(cp, payload)
+		h(cp)
+	}
+}
+
+// FlushInbound discards queued inbound data for every port, modelling
+// connection loss across a microreboot: sockets are not resurrected, so
+// unread payloads are gone and clients must reconnect and retransmit.
+func (n *Network) FlushInbound() {
+	for port, q := range n.inbound {
+		n.Dropped += len(q)
+		n.inbound[port] = nil
+	}
+}
+
+// ConsoleHub connects physical terminals to the interactive user. The hub
+// survives microreboots — it is the keyboard and the eyes of the user — and
+// resurrected terminals re-attach by index.
+type ConsoleHub struct {
+	sources map[uint32]func() (byte, bool)
+}
+
+// NewConsoleHub returns a hub with no attached input sources.
+func NewConsoleHub() *ConsoleHub {
+	return &ConsoleHub{sources: make(map[uint32]func() (byte, bool))}
+}
+
+// AttachInput connects a keystroke source to terminal index. The source
+// returns false when the user has nothing more to type right now.
+func (h *ConsoleHub) AttachInput(index uint32, source func() (byte, bool)) {
+	h.sources[index] = source
+}
+
+// readKey pulls the next keystroke for a terminal.
+func (h *ConsoleHub) readKey(index uint32) (byte, bool) {
+	if s := h.sources[index]; s != nil {
+		return s()
+	}
+	return 0, false
+}

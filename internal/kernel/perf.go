@@ -1,0 +1,60 @@
+package kernel
+
+// Cycle cost constants for the performance model behind Table 3. The
+// absolute values are calibrated for a mid-2000s x86 core; only ratios
+// matter for the reproduced overhead percentages.
+const (
+	// CyclesPerAccess is the cost of a TLB-hit memory access.
+	CyclesPerAccess = 1
+	// TLBMissPenalty is the extra cost of a hardware page-table walk.
+	TLBMissPenalty = 30
+	// SyscallBaseCycles is the fixed kernel entry/exit cost.
+	SyscallBaseCycles = 300
+	// PTSwitchCycles is the cost of reloading the page-table base
+	// register once; protected mode pays it twice per system call (switch
+	// to the kernel-only set on entry, back on exit), each reload also
+	// flushing the TLB (Section 4).
+	PTSwitchCycles = 350
+)
+
+// PerfCounters accumulates the kernel's performance and fault accounting.
+type PerfCounters struct {
+	// Cycles is total virtual CPU work: compute, memory and syscalls.
+	Cycles uint64
+	// MemAccesses counts TLB-filtered memory accesses.
+	MemAccesses uint64
+	// Syscalls counts completed system calls.
+	Syscalls uint64
+	// PTSwitches counts protected-mode page-table set switches.
+	PTSwitches uint64
+	// Steps counts program steps executed.
+	Steps uint64
+	// SwapIns and SwapOuts count demand-paging traffic.
+	SwapIns  uint64
+	SwapOuts uint64
+	// WildWrites counts stray kernel stores attempted; Trapped were
+	// detected by protection, Landed silently corrupted memory, and
+	// PageTable counts landed writes that hit page-table frames (the
+	// corruption class that can defeat user-space protection, as in the
+	// paper's one residual MySQL corruption).
+	WildWrites          uint64
+	WildWritesTrapped   uint64
+	WildWritesLanded    uint64
+	WildWritesPageTable uint64
+}
+
+// chargeAccess runs one memory access through the TLB and charges cycles.
+func (k *Kernel) chargeAccess(vpn uint64) {
+	k.Perf.MemAccesses++
+	if k.M.TLB.Access(vpn) {
+		k.Perf.Cycles += CyclesPerAccess
+	} else {
+		k.Perf.Cycles += CyclesPerAccess + TLBMissPenalty
+	}
+}
+
+// ChargeCompute charges pure computation cycles (no memory traffic), used
+// by workload profiles to model an application's non-memory work.
+func (k *Kernel) ChargeCompute(cycles uint64) {
+	k.Perf.Cycles += cycles
+}

@@ -1,0 +1,107 @@
+package kernel
+
+import "errors"
+
+// StepProcess runs one quantum of a process on CPU 0, with the next
+// runnable process notionally executing on CPU 1 (the paper's test machine
+// had two processors; which threads are current matters for the halt-NMI
+// protocol at failure time).
+func (k *Kernel) StepProcess(p *Process) error {
+	if k.panicState != nil {
+		return k.panicState
+	}
+	if p.Exited {
+		return nil
+	}
+	k.M.CPUs[0].CurrentPID = p.PID
+	if len(k.M.CPUs) > 1 {
+		k.M.CPUs[1].CurrentPID = k.nextRunnable(p.PID)
+	}
+	if behave := k.executeKernelFunc(FuncSched, p); behave != BehaveBenign {
+		return k.manifest(behave, "scheduler")
+	}
+	k.Perf.Steps++
+	env := &Env{K: k, P: p}
+	err := p.Prog.Step(env)
+	if err == nil && !p.Exited {
+		p.Ctx.PC++
+	}
+	return err
+}
+
+// nextRunnable returns another runnable PID, or 0 if none.
+func (k *Kernel) nextRunnable(not uint32) uint32 {
+	for _, pid := range k.procOrder {
+		if pid == not {
+			continue
+		}
+		if p, ok := k.procs[pid]; ok && !p.Exited {
+			return pid
+		}
+	}
+	return 0
+}
+
+// RunResult summarizes a scheduler run.
+type RunResult struct {
+	// Steps is the number of program quanta executed.
+	Steps int
+	// Idle reports that every process yielded with nothing to do.
+	Idle bool
+	// Panic is the kernel failure that stopped the run, if any.
+	Panic *PanicEvent
+}
+
+// Run drives the round-robin scheduler for at most maxSteps quanta,
+// stopping early on a kernel panic or when every live process is idle.
+// Program-level errors other than yields kill the offending process, like a
+// fatal signal.
+func (k *Kernel) Run(maxSteps int) RunResult {
+	res := RunResult{}
+	idleStreak := 0
+	for res.Steps < maxSteps {
+		procs := k.Procs()
+		if len(procs) == 0 {
+			res.Idle = true
+			return res
+		}
+		progressed := false
+		for _, p := range procs {
+			if res.Steps >= maxSteps {
+				break
+			}
+			err := k.StepProcess(p)
+			res.Steps++
+			switch {
+			case err == nil:
+				progressed = true
+			case errors.Is(err, ErrYield):
+				// Voluntary sleep.
+			case IsPanic(err):
+				res.Panic = k.panicState
+				return res
+			default:
+				// Fatal program error: kill the process.
+				k.logf("pid %d killed: %v", p.PID, err)
+				if xerr := k.Exit(p, 128); xerr != nil && IsPanic(xerr) {
+					res.Panic = k.panicState
+					return res
+				}
+			}
+		}
+		if k.panicState != nil {
+			res.Panic = k.panicState
+			return res
+		}
+		if progressed {
+			idleStreak = 0
+		} else {
+			idleStreak++
+			if idleStreak >= 2 {
+				res.Idle = true
+				return res
+			}
+		}
+	}
+	return res
+}

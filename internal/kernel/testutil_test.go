@@ -1,0 +1,24 @@
+package kernel
+
+import (
+	"otherworld/internal/disk"
+	"otherworld/internal/fs"
+	"otherworld/internal/hw"
+)
+
+// Small constructors shared by the kernel tests.
+
+func newTestMachineSized(memBytes int) *hw.Machine {
+	return hw.NewMachine(hw.Config{
+		MemoryBytes:     memBytes,
+		NumCPUs:         2,
+		TLBEntries:      64,
+		WatchdogEnabled: true,
+	})
+}
+
+func newSwapDev(name string, slots int) *disk.BlockDevice {
+	return disk.NewBlockDevice(name, slots)
+}
+
+func newFS() *fs.FlatFS { return fs.New() }

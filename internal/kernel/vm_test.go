@@ -1,0 +1,249 @@
+package kernel
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"otherworld/internal/layout"
+	"otherworld/internal/phys"
+)
+
+func TestVMReadWriteRoundTrip(t *testing.T) {
+	k := bootTestKernel(t, nil)
+	p, _ := k.CreateProcess("a", "test-prog")
+	if err := k.MapRegion(p, 0x100000, 1<<20, layout.ProtRead|layout.ProtWrite, layout.RegionAnon, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("the quick brown fox")
+	if err := k.WriteVM(p, 0x100100, data); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(data))
+	if err := k.ReadVM(p, 0x100100, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatalf("got %q", buf)
+	}
+}
+
+func TestVMCrossPageWrite(t *testing.T) {
+	k := bootTestKernel(t, nil)
+	p, _ := k.CreateProcess("a", "test-prog")
+	if err := k.MapRegion(p, 0x100000, 1<<20, layout.ProtRead|layout.ProtWrite, layout.RegionAnon, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Write spanning three pages.
+	data := bytes.Repeat([]byte{0x5A}, 3*phys.PageSize)
+	va := uint64(0x100000 + phys.PageSize - 100)
+	if err := k.WriteVM(p, va, data); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(data))
+	if err := k.ReadVM(p, va, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatal("cross-page data mismatch")
+	}
+}
+
+func TestVMSegfaultOutsideRegions(t *testing.T) {
+	k := bootTestKernel(t, nil)
+	p, _ := k.CreateProcess("a", "test-prog")
+	err := k.WriteVM(p, 0x100000, []byte{1})
+	if !errors.Is(err, ErrSegfault) {
+		t.Fatalf("want segfault, got %v", err)
+	}
+}
+
+func TestVMDemandZero(t *testing.T) {
+	k := bootTestKernel(t, nil)
+	p, _ := k.CreateProcess("a", "test-prog")
+	if err := k.MapRegion(p, 0x200000, 64*phys.PageSize, layout.ProtRead|layout.ProtWrite, layout.RegionAnon, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Untouched mapped pages read as zeroes and allocate on demand.
+	present0, _, err := k.ResidentPages(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	if err := k.ReadVM(p, 0x200000+5*phys.PageSize, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, make([]byte, 8)) {
+		t.Fatal("demand-zero page not zero")
+	}
+	present1, _, err := k.ResidentPages(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if present1 != present0+1 {
+		t.Fatalf("resident %d -> %d, want +1", present0, present1)
+	}
+}
+
+func TestVMFileBackedMapping(t *testing.T) {
+	k := bootTestKernel(t, nil)
+	if err := k.FS.WriteFile("/bin/app", bytes.Repeat([]byte("EXEC"), 2048)); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := k.CreateProcess("a", "test-prog")
+	env := &Env{K: k, P: p}
+	fd, err := env.Open("/bin/app", layout.FlagRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.MmapFile(fd, 0x300000, 2*phys.PageSize, phys.PageSize, layout.ProtRead); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if err := k.ReadVM(p, 0x300000, buf); err != nil {
+		t.Fatal(err)
+	}
+	// Mapped from file offset PageSize; content is the repeating pattern.
+	if !bytes.Equal(buf, []byte("EXEC")) {
+		t.Fatalf("mmap content = %q", buf)
+	}
+}
+
+func TestSwapOutAndBackIn(t *testing.T) {
+	k := bootTestKernel(t, nil)
+	p, _ := k.CreateProcess("a", "test-prog")
+	if err := k.MapRegion(p, 0x100000, 1<<20, layout.ProtRead|layout.ProtWrite, layout.RegionAnon, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Touch 32 pages with distinct content.
+	for i := 0; i < 32; i++ {
+		if err := k.WriteVM(p, 0x100000+uint64(i)*phys.PageSize, []byte{byte(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := k.SwapOutPages(p, 16)
+	if err != nil || n != 16 {
+		t.Fatalf("swapped %d, %v", n, err)
+	}
+	present, swapped, err := k.ResidentPages(p)
+	if err != nil || swapped != 16 {
+		t.Fatalf("present=%d swapped=%d %v", present, swapped, err)
+	}
+	// Reading a swapped page swaps it back in with content intact.
+	for i := 0; i < 32; i++ {
+		var b [1]byte
+		if err := k.ReadVM(p, 0x100000+uint64(i)*phys.PageSize, b[:]); err != nil {
+			t.Fatal(err)
+		}
+		if b[0] != byte(i+1) {
+			t.Fatalf("page %d content %d after swap cycle", i, b[0])
+		}
+	}
+	_, swapped, _ = k.ResidentPages(p)
+	if swapped != 0 {
+		t.Fatalf("%d pages still swapped after touching all", swapped)
+	}
+	if k.Perf.SwapIns == 0 || k.Perf.SwapOuts == 0 {
+		t.Fatal("swap counters not updated")
+	}
+}
+
+func TestVMContentRoundTripProperty(t *testing.T) {
+	k := bootTestKernel(t, nil)
+	p, _ := k.CreateProcess("a", "test-prog")
+	if err := k.MapRegion(p, 0x100000, 4<<20, layout.ProtRead|layout.ProtWrite, layout.RegionAnon, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	f := func(off uint32, data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		if len(data) > 16384 {
+			data = data[:16384]
+		}
+		va := 0x100000 + uint64(off)%(4<<20-uint64(len(data)))
+		if err := k.WriteVM(p, va, data); err != nil {
+			return false
+		}
+		buf := make([]byte, len(data))
+		if err := k.ReadVM(p, va, buf); err != nil {
+			return false
+		}
+		return bytes.Equal(buf, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPageTablePagesAllocatedSparsely(t *testing.T) {
+	k := bootTestKernel(t, nil)
+	p, _ := k.CreateProcess("a", "test-prog")
+	if err := k.MapRegion(p, 0, layout.MaxUserVA, layout.ProtRead|layout.ProtWrite, layout.RegionAnon, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	before := k.M.Mem.CountKind(phys.FramePageTable)
+	// Touch two pages in the same 2 MiB span: one PT page suffices.
+	_ = k.WriteVM(p, 0, []byte{1})
+	_ = k.WriteVM(p, phys.PageSize, []byte{1})
+	mid := k.M.Mem.CountKind(phys.FramePageTable)
+	if mid != before+1 {
+		t.Fatalf("PT pages %d -> %d, want +1", before, mid)
+	}
+	// Touch a page far away: a second PT page appears.
+	_ = k.WriteVM(p, 64<<20, []byte{1})
+	after := k.M.Mem.CountKind(phys.FramePageTable)
+	if after != mid+1 {
+		t.Fatalf("PT pages %d -> %d, want +1", mid, after)
+	}
+}
+
+func TestReclaimUnderMemoryPressure(t *testing.T) {
+	// A tiny machine: the kernel must swap to satisfy allocations.
+	k := bootTestKernelSized(t, 8<<20, 256)
+	p, _ := k.CreateProcess("a", "test-prog")
+	if err := k.MapRegion(p, 0x100000, 16<<20, layout.ProtRead|layout.ProtWrite, layout.RegionAnon, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Touch more pages than the machine has free frames.
+	for i := 0; i < 3000; i++ {
+		if err := k.WriteVM(p, 0x100000+uint64(i)*phys.PageSize, []byte{byte(i)}); err != nil {
+			t.Fatalf("page %d: %v", i, err)
+		}
+	}
+	if k.Perf.SwapOuts == 0 {
+		t.Fatal("expected reclaim to swap pages out")
+	}
+	// Spot-check early pages survived the trip through swap.
+	for _, i := range []int{0, 100, 1500, 2999} {
+		var b [1]byte
+		if err := k.ReadVM(p, 0x100000+uint64(i)*phys.PageSize, b[:]); err != nil {
+			t.Fatal(err)
+		}
+		if b[0] != byte(i) {
+			t.Fatalf("page %d content %d", i, b[0])
+		}
+	}
+}
+
+// bootTestKernelSized boots a kernel on a machine with the given memory and
+// swap slots.
+func bootTestKernelSized(t *testing.T, memBytes, swapSlots int) *Kernel {
+	t.Helper()
+	m := newTestMachineSized(memBytes)
+	m.Bus.Attach(newSwapDev("/dev/swap0", swapSlots*16))
+	crash := phys.Region{Start: m.Mem.NumFrames() - 256, Frames: 256}
+	p := Params{
+		VerifyCRC:   true,
+		Hardening:   FullHardening(),
+		SwapDevice:  "/dev/swap0",
+		CrashRegion: crash,
+		Seed:        5,
+	}
+	k, err := Boot(m, newFS(), p, BootOptions{Region: phys.Region{Start: 0, Frames: crash.Start}})
+	if err != nil {
+		t.Fatalf("Boot: %v", err)
+	}
+	return k
+}

@@ -1,0 +1,56 @@
+package layout
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadRecord drives the record parser with arbitrary bytes; it must
+// never panic and must round-trip records it sealed itself. Run the seed
+// corpus with go test, or explore with go test -fuzz=FuzzReadRecord.
+func FuzzReadRecord(f *testing.F) {
+	f.Add([]byte{}, uint8(1), true)
+	f.Add(Seal(TypeProc, 0, []byte("payload")), uint8(2), true)
+	f.Add(Seal(TypeFile, 7, bytes.Repeat([]byte{0xAA}, 300)), uint8(4), false)
+	f.Add([]byte{0x6F, 0x0D, 2, 0, 255, 255, 255, 255}, uint8(2), true)
+	f.Fuzz(func(t *testing.T, data []byte, wantType uint8, crc bool) {
+		m := &memBuf{data: make([]byte, len(data)+64)}
+		copy(m.data, data)
+		payload, _, err := ReadRecord(m, 0, Type(wantType%uint8(typeMax)), crc)
+		if err == nil && payload == nil && len(data) > HeaderSize {
+			// nil payload is only legal for zero-length records.
+			n := int(uint32(data[4]) | uint32(data[5])<<8 | uint32(data[6])<<16 | uint32(data[7])<<24)
+			if n != 0 {
+				t.Fatalf("nil payload for length %d", n)
+			}
+		}
+	})
+}
+
+// FuzzDecodeContext: saved hardware contexts carry no checksums; arbitrary
+// bytes must decode without panicking.
+func FuzzDecodeContext(f *testing.F) {
+	var buf [ContextSize]byte
+	EncodeContext(buf[:], &Context{Saved: true, PC: 42})
+	f.Add(buf[:])
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, ok := DecodeContext(data)
+		if ok && len(data) < ContextSize {
+			t.Fatal("short buffer cannot hold a context")
+		}
+		_ = c
+	})
+}
+
+// FuzzProcDecode exercises the highest-fan-in record decoder.
+func FuzzProcDecode(f *testing.F) {
+	p := Proc{PID: 1, Name: "a", Program: "b", CrashProc: "c"}
+	f.Add(p.EncodePayload())
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 200))
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		var q Proc
+		_ = q.decode(0, payload)
+	})
+}

@@ -1,0 +1,100 @@
+package layout
+
+// Hardware page-table layout. The simulation uses a two-level structure like
+// 32-bit x86: a one-page *page directory* whose entries point to one-page
+// *page tables*, each mapping PTEsPerPage consecutive pages. Page-table
+// pages are what dominates the data the crash kernel reads during
+// resurrection (Table 4's last column), so their size and sparseness are
+// modelled faithfully: a table page is only allocated once a page in its
+// 2 MiB span is touched.
+
+// PTESize is the size of one page-table entry in bytes.
+const PTESize = 8
+
+// PTEsPerPage is how many entries fit in one page-table page.
+const PTEsPerPage = 4096 / PTESize // 512
+
+// SpanPerTable is the virtual address span one page-table page maps.
+const SpanPerTable = PTEsPerPage * 4096 // 2 MiB
+
+// DirEntries is the number of page-directory slots, bounding user virtual
+// space at DirEntries * SpanPerTable = 1 GiB.
+const DirEntries = 512
+
+// PTE is a single page-table entry packed into 64 bits:
+//
+//	bit 0      present   (page resident in a physical frame)
+//	bit 1      swapped   (page stored in a swap slot)
+//	bit 2      dirty
+//	bit 3      writable
+//	bit 4      accessed
+//	bits 12..  frame number (present) or swap slot (swapped)
+//
+// A PTE of zero means the page was never touched.
+type PTE uint64
+
+// PTE flag bits.
+const (
+	PTEPresent  PTE = 1 << 0
+	PTESwapped  PTE = 1 << 1
+	PTEDirty    PTE = 1 << 2
+	PTEWritable PTE = 1 << 3
+	PTEAccessed PTE = 1 << 4
+)
+
+// MakePresentPTE builds an entry mapping a resident frame.
+func MakePresentPTE(frame int, writable bool) PTE {
+	p := PTE(uint64(frame)<<12) | PTEPresent
+	if writable {
+		p |= PTEWritable
+	}
+	return p
+}
+
+// MakeSwappedPTE builds an entry for a page stored in swap slot.
+func MakeSwappedPTE(slot int, writable bool) PTE {
+	p := PTE(uint64(slot)<<12) | PTESwapped
+	if writable {
+		p |= PTEWritable
+	}
+	return p
+}
+
+// Present reports whether the page is resident.
+func (p PTE) Present() bool { return p&PTEPresent != 0 }
+
+// Swapped reports whether the page lives in swap.
+func (p PTE) Swapped() bool { return p&PTESwapped != 0 }
+
+// Dirty reports whether the page has been written since mapping.
+func (p PTE) Dirty() bool { return p&PTEDirty != 0 }
+
+// Writable reports whether the page allows writes.
+func (p PTE) Writable() bool { return p&PTEWritable != 0 }
+
+// Frame returns the physical frame number of a present entry.
+func (p PTE) Frame() int { return int(uint64(p) >> 12) }
+
+// SwapSlot returns the swap slot of a swapped entry.
+func (p PTE) SwapSlot() int { return int(uint64(p) >> 12) }
+
+// WithDirty returns the entry with the dirty (and accessed) bits set.
+func (p PTE) WithDirty() PTE { return p | PTEDirty | PTEAccessed }
+
+// VirtSplit decomposes a virtual address into directory index, table index
+// and page offset. ok is false if the address is beyond the mappable range.
+func VirtSplit(va uint64) (dir, table, off int, ok bool) {
+	vpn := va >> 12
+	off = int(va & 4095)
+	table = int(vpn % PTEsPerPage)
+	dir = int(vpn / PTEsPerPage)
+	return dir, table, off, dir < DirEntries
+}
+
+// VirtJoin is the inverse of VirtSplit.
+func VirtJoin(dir, table, off int) uint64 {
+	return (uint64(dir)*PTEsPerPage+uint64(table))<<12 | uint64(off)
+}
+
+// MaxUserVA is one past the largest mappable user virtual address.
+const MaxUserVA = uint64(DirEntries) * SpanPerTable

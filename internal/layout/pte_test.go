@@ -1,0 +1,106 @@
+package layout
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPTEBits(t *testing.T) {
+	p := MakePresentPTE(123, true)
+	if !p.Present() || p.Swapped() || !p.Writable() || p.Dirty() {
+		t.Fatalf("present PTE bits wrong: %#x", uint64(p))
+	}
+	if p.Frame() != 123 {
+		t.Fatalf("frame = %d", p.Frame())
+	}
+	d := p.WithDirty()
+	if !d.Dirty() || d.Frame() != 123 {
+		t.Fatalf("dirty PTE wrong: %#x", uint64(d))
+	}
+
+	s := MakeSwappedPTE(77, false)
+	if s.Present() || !s.Swapped() || s.Writable() {
+		t.Fatalf("swapped PTE bits wrong: %#x", uint64(s))
+	}
+	if s.SwapSlot() != 77 {
+		t.Fatalf("slot = %d", s.SwapSlot())
+	}
+}
+
+func TestPTEFramePreservedProperty(t *testing.T) {
+	f := func(frame uint32, writable bool) bool {
+		fr := int(frame % (1 << 30))
+		p := MakePresentPTE(fr, writable)
+		return p.Frame() == fr && p.Writable() == writable && p.Present()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVirtSplitJoinProperty(t *testing.T) {
+	f := func(va uint64) bool {
+		va %= MaxUserVA
+		dir, table, off, ok := VirtSplit(va)
+		if !ok {
+			return false
+		}
+		return VirtJoin(dir, table, off) == va
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVirtSplitRejectsBeyondUserSpace(t *testing.T) {
+	if _, _, _, ok := VirtSplit(MaxUserVA); ok {
+		t.Fatal("MaxUserVA should be rejected")
+	}
+	if _, _, _, ok := VirtSplit(MaxUserVA - 1); !ok {
+		t.Fatal("MaxUserVA-1 should be accepted")
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	want := Context{
+		Saved: true, InSyscall: true, SyscallNo: 11,
+		PC: 1234, SP: 0xFFF0, Regs: [4]uint64{1, 2, 3, 4},
+	}
+	m := newMemBuf(4096)
+	if err := WriteContext(m, 0, &want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := ReadContext(m, 0)
+	if err != nil || !ok {
+		t.Fatalf("ReadContext: ok=%v err=%v", ok, err)
+	}
+	if got != want {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+}
+
+func TestContextMissingSentinel(t *testing.T) {
+	m := newMemBuf(4096)
+	if _, ok, err := ReadContext(m, 0); ok || err != nil {
+		t.Fatalf("zeroed stack should have no context (ok=%v err=%v)", ok, err)
+	}
+}
+
+// TestContextCorruptionUndetected documents that saved contexts carry no
+// checksum: a corrupted PC is returned as-is, the channel behind the
+// residual data-corruption cases in Table 5.
+func TestContextCorruptionUndetected(t *testing.T) {
+	want := Context{Saved: true, PC: 100}
+	m := newMemBuf(4096)
+	if err := WriteContext(m, 0, &want); err != nil {
+		t.Fatal(err)
+	}
+	m.data[8] ^= 0xFF // low byte of PC
+	got, ok, err := ReadContext(m, 0)
+	if err != nil || !ok {
+		t.Fatalf("corrupted context must still parse: ok=%v err=%v", ok, err)
+	}
+	if got.PC == want.PC {
+		t.Fatal("PC should differ after corruption")
+	}
+}

@@ -1,0 +1,155 @@
+package layout
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// memBuf is an in-memory MemoryAccessor for codec tests.
+type memBuf struct {
+	data []byte
+}
+
+func newMemBuf(n int) *memBuf { return &memBuf{data: make([]byte, n)} }
+
+func (m *memBuf) ReadAt(addr uint64, buf []byte) error {
+	if addr+uint64(len(buf)) > uint64(len(m.data)) {
+		return errShort
+	}
+	copy(buf, m.data[addr:])
+	return nil
+}
+
+func (m *memBuf) WriteAt(addr uint64, buf []byte) error {
+	if addr+uint64(len(buf)) > uint64(len(m.data)) {
+		return errShort
+	}
+	copy(m.data[addr:], buf)
+	return nil
+}
+
+func TestSealRoundTrip(t *testing.T) {
+	payload := []byte("hello kernel records")
+	img := Seal(TypeProc, 3, payload)
+	if len(img) != RecordSize(len(payload)) {
+		t.Fatalf("sealed size %d, want %d", len(img), RecordSize(len(payload)))
+	}
+	m := newMemBuf(4096)
+	if err := m.WriteAt(100, img); err != nil {
+		t.Fatal(err)
+	}
+	got, flags, err := ReadRecord(m, 100, TypeProc, true)
+	if err != nil {
+		t.Fatalf("ReadRecord: %v", err)
+	}
+	if flags != 3 {
+		t.Fatalf("flags = %d, want 3", flags)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload mismatch: %q", got)
+	}
+}
+
+func TestSealRoundTripProperty(t *testing.T) {
+	f := func(payload []byte, flags uint8) bool {
+		if len(payload) > MaxPayload {
+			payload = payload[:MaxPayload]
+		}
+		m := newMemBuf(RecordSize(len(payload)) + 16)
+		if err := WriteRecord(m, 8, TypeFile, flags, payload); err != nil {
+			return false
+		}
+		got, gotFlags, err := ReadRecord(m, 8, TypeFile, true)
+		return err == nil && gotFlags == flags && bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadRecordDetectsBadMagic(t *testing.T) {
+	m := newMemBuf(4096)
+	if err := WriteRecord(m, 0, TypeProc, 0, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	m.data[0] ^= 0xFF
+	if _, _, err := ReadRecord(m, 0, TypeProc, true); !IsCorruption(err) {
+		t.Fatalf("want corruption error, got %v", err)
+	}
+}
+
+func TestReadRecordDetectsTypeMismatch(t *testing.T) {
+	m := newMemBuf(4096)
+	if err := WriteRecord(m, 0, TypeProc, 0, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadRecord(m, 0, TypeFile, true); !IsCorruption(err) {
+		t.Fatalf("want corruption error, got %v", err)
+	}
+}
+
+// TestCRCDetectsSingleByteFlips flips every byte of a sealed record in turn
+// and checks the checksum catches each flip — the Section 4 integrity claim.
+func TestCRCDetectsSingleByteFlips(t *testing.T) {
+	payload := []byte("resurrection-critical bytes")
+	img := Seal(TypeMemRegion, 0, payload)
+	for i := range img {
+		m := newMemBuf(len(img))
+		copy(m.data, img)
+		m.data[i] ^= 0x40
+		if _, _, err := ReadRecord(m, 0, TypeMemRegion, true); err == nil {
+			t.Fatalf("flip at byte %d went undetected", i)
+		}
+	}
+}
+
+// TestNoCRCMissesPayloadFlips shows the ablation: with checksums off, a
+// payload flip that keeps the structure parseable goes through.
+func TestNoCRCMissesPayloadFlips(t *testing.T) {
+	payload := []byte("aaaaaaaaaaaaaaaa")
+	img := Seal(TypeCachePage, 0, payload)
+	m := newMemBuf(len(img))
+	copy(m.data, img)
+	m.data[HeaderSize] ^= 0x01 // first payload byte
+	got, _, err := ReadRecord(m, 0, TypeCachePage, false)
+	if err != nil {
+		t.Fatalf("structural validation should pass: %v", err)
+	}
+	if bytes.Equal(got, payload) {
+		t.Fatal("payload should differ")
+	}
+	if _, _, err := ReadRecord(m, 0, TypeCachePage, true); !IsCorruption(err) {
+		t.Fatal("CRC mode should detect the same flip")
+	}
+}
+
+func TestPeekType(t *testing.T) {
+	m := newMemBuf(4096)
+	if err := WriteRecord(m, 64, TypeTerminal, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := PeekType(m, 64)
+	if err != nil || got != TypeTerminal {
+		t.Fatalf("PeekType = %v, %v", got, err)
+	}
+	got, err = PeekType(m, 0) // zeroes: no magic
+	if err != nil || got != TypeInvalid {
+		t.Fatalf("PeekType on zeroes = %v, %v", got, err)
+	}
+}
+
+func TestReadRecordRejectsHugePayloadLength(t *testing.T) {
+	m := newMemBuf(4096)
+	if err := WriteRecord(m, 0, TypeProc, 0, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite the length field with an absurd value.
+	m.data[4] = 0xFF
+	m.data[5] = 0xFF
+	m.data[6] = 0xFF
+	m.data[7] = 0x7F
+	if _, _, err := ReadRecord(m, 0, TypeProc, false); !IsCorruption(err) {
+		t.Fatalf("want corruption error, got %v", err)
+	}
+}

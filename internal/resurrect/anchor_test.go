@@ -1,0 +1,86 @@
+package resurrect_test
+
+import (
+	"testing"
+
+	"otherworld/internal/core"
+	"otherworld/internal/kernel"
+	"otherworld/internal/resurrect"
+)
+
+// TestCorruptGlobalsAnchorFailsEveryResurrection: if the wild writes hit
+// the globals anchor itself, the crash kernel has nothing to walk — every
+// selected process fails, but the machine still comes back (empty).
+func TestCorruptGlobalsAnchorFailsEveryResurrection(t *testing.T) {
+	m := newMachine(t)
+	if _, err := m.Start("p", "t1-plain"); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(20)
+	// Clobber the anchor's payload.
+	if err := m.HW.Mem.WriteAt(kernel.GlobalsAddr+10, []byte{0xFF, 0xFF, 0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	_ = m.K.InjectOops("x")
+	out, err := m.HandleFailure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Result != core.ResultRecovered {
+		t.Fatalf("machine should still recover (empty): %s", out.Transfer.Reason)
+	}
+	if len(out.Report.Candidates) != 0 || out.Report.Succeeded() != 0 {
+		t.Fatalf("report = %+v", out.Report)
+	}
+	// The morphed kernel is healthy: new processes start fine.
+	if _, err := m.Start("fresh", "t1-plain"); err != nil {
+		t.Fatal(err)
+	}
+	if res := m.Run(10); res.Panic != nil {
+		t.Fatalf("panic after empty resurrection: %v", res.Panic)
+	}
+}
+
+// TestConfigWants covers the resurrection-configuration selection logic.
+func TestConfigWants(t *testing.T) {
+	all := resurrect.Config{All: true}
+	if !all.Wants(resurrect.Candidate{Name: "anything"}) {
+		t.Fatal("All must select everything")
+	}
+	named := resurrect.Config{Names: []string{"a", "b"}}
+	if !named.Wants(resurrect.Candidate{Name: "b"}) || named.Wants(resurrect.Candidate{Name: "c"}) {
+		t.Fatal("name selection wrong")
+	}
+	none := resurrect.Config{}
+	if none.Wants(resurrect.Candidate{Name: "a"}) {
+		t.Fatal("empty config selects nothing")
+	}
+}
+
+// TestReportSucceededCounts covers the report summary.
+func TestReportSucceededCounts(t *testing.T) {
+	r := &resurrect.Report{Procs: []resurrect.ProcReport{
+		{Outcome: resurrect.OutcomeContinued},
+		{Outcome: resurrect.OutcomeRestarted},
+		{Outcome: resurrect.OutcomeGaveUp},
+		{Outcome: resurrect.OutcomeFailed},
+	}}
+	if r.Succeeded() != 2 {
+		t.Fatalf("succeeded = %d", r.Succeeded())
+	}
+}
+
+// TestOutcomeStrings pins the display names used across reports and logs.
+func TestOutcomeStrings(t *testing.T) {
+	want := map[resurrect.Outcome]string{
+		resurrect.OutcomeContinued: "continued",
+		resurrect.OutcomeRestarted: "restarted",
+		resurrect.OutcomeGaveUp:    "gave-up",
+		resurrect.OutcomeFailed:    "failed",
+	}
+	for o, s := range want {
+		if o.String() != s {
+			t.Fatalf("%d -> %q, want %q", int(o), o.String(), s)
+		}
+	}
+}

@@ -1,0 +1,489 @@
+// Package resurrect implements the crash kernel's application-resurrection
+// engine (Section 3.3): after a microreboot it parses the dead main
+// kernel's data structures out of raw physical memory — process
+// descriptors, memory regions, hardware page tables, open-file records,
+// page-cache entries, terminals, signal tables, shared memory — and
+// rebuilds the selected processes inside the freshly booted crash kernel,
+// finishing with the crash-procedure call and the Table 1 policy decision.
+//
+// Every byte the engine reads from main-kernel memory is counted by
+// category, which is how Table 4 ("size of the data read by the crash
+// kernel during the resurrection process") is measured.
+package resurrect
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"otherworld/internal/kernel"
+	"otherworld/internal/layout"
+	"otherworld/internal/phys"
+)
+
+// Category labels for byte accounting.
+const (
+	CatGlobals   = "globals"
+	CatProc      = "proc"
+	CatRegion    = "memregion"
+	CatPageTable = "pagetable"
+	CatFile      = "file"
+	CatCache     = "pagecache"
+	CatTerminal  = "terminal"
+	CatSignals   = "signals"
+	CatShm       = "shm"
+	CatIPC       = "ipc"
+	CatContext   = "context"
+	CatUserData  = "userdata"
+	CatSwapData  = "swapdata"
+)
+
+// kernelDataCats are the categories Table 4 counts as main-kernel data (it
+// excludes the application page contents themselves).
+var kernelDataCats = []string{
+	CatGlobals, CatProc, CatRegion, CatPageTable, CatFile, CatCache,
+	CatTerminal, CatSignals, CatShm, CatIPC, CatContext,
+}
+
+// Accounting tallies bytes read from the dead kernel's memory.
+type Accounting struct {
+	ByCategory map[string]int64
+}
+
+// KernelDataBytes returns the Table 4 numerator: main-kernel data read.
+func (a *Accounting) KernelDataBytes() int64 {
+	var n int64
+	for _, c := range kernelDataCats {
+		n += a.ByCategory[c]
+	}
+	return n
+}
+
+// PageTableBytes returns the page-table portion.
+func (a *Accounting) PageTableBytes() int64 { return a.ByCategory[CatPageTable] }
+
+// PageTableFraction returns page-table bytes over kernel-data bytes.
+func (a *Accounting) PageTableFraction() float64 {
+	total := a.KernelDataBytes()
+	if total == 0 {
+		return 0
+	}
+	return float64(a.ByCategory[CatPageTable]) / float64(total)
+}
+
+// reader is the counting accessor the engine parses main memory through.
+type reader struct {
+	mem  *phys.Mem
+	acct *Accounting
+	cat  string
+}
+
+func (r *reader) ReadAt(addr uint64, buf []byte) error {
+	r.acct.ByCategory[r.cat] += int64(len(buf))
+	return r.mem.ReadAt(addr, buf)
+}
+
+// WriteAt is required by layout.MemoryAccessor but the engine never writes
+// into the dead kernel's memory.
+func (r *reader) WriteAt(addr uint64, buf []byte) error {
+	return errors.New("resurrect: main kernel memory is read-only during resurrection")
+}
+
+func (r *reader) at(cat string) *reader {
+	r.cat = cat
+	return r
+}
+
+// Candidate is one process found in the dead kernel's process list — the
+// list shown to the interactive user, or matched against the resurrection
+// configuration file (Section 3.3).
+type Candidate struct {
+	PID     uint32
+	Name    string
+	Program string
+	// Addr is the descriptor's physical address in the dead kernel.
+	Addr uint64
+	// CrashProc is the registered crash-procedure name ("" if none).
+	CrashProc string
+}
+
+// Config is the resurrection configuration: which processes to revive.
+type Config struct {
+	// All resurrects every candidate.
+	All bool
+	// Names lists process names to resurrect when All is false.
+	Names []string
+}
+
+// Wants reports whether the configuration selects the candidate.
+func (c Config) Wants(cand Candidate) bool {
+	if c.All {
+		return true
+	}
+	for _, n := range c.Names {
+		if n == cand.Name {
+			return true
+		}
+	}
+	return false
+}
+
+// Outcome is the per-process resurrection result.
+type Outcome int
+
+// Outcomes.
+const (
+	// OutcomeContinued: execution resumes from the interruption point.
+	OutcomeContinued Outcome = iota
+	// OutcomeRestarted: the crash procedure saved state and the
+	// application was started fresh.
+	OutcomeRestarted
+	// OutcomeGaveUp: the crash procedure abandoned recovery.
+	OutcomeGaveUp
+	// OutcomeFailed: corruption of main-kernel structures (or a missing
+	// resource with no crash procedure) prevented resurrection.
+	OutcomeFailed
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeContinued:
+		return "continued"
+	case OutcomeRestarted:
+		return "restarted"
+	case OutcomeGaveUp:
+		return "gave-up"
+	case OutcomeFailed:
+		return "failed"
+	}
+	return fmt.Sprintf("Outcome(%d)", int(o))
+}
+
+// ProcReport describes one process's resurrection.
+type ProcReport struct {
+	Candidate Candidate
+	Outcome   Outcome
+	// NewPID is the process's PID under the crash kernel.
+	NewPID uint32
+	// Missing is the unresurrected-resource bitmask passed to the crash
+	// procedure.
+	Missing kernel.ResourceMask
+	// CrashProcCalled reports whether a crash procedure ran.
+	CrashProcCalled bool
+	// Err explains a failure.
+	Err error
+	// PagesCopied / PagesRestaged count resident and swapped pages.
+	PagesCopied   int
+	PagesRestaged int
+	// DirtyFlushed counts dirty page-cache pages written to disk.
+	DirtyFlushed int
+}
+
+// Report is the whole resurrection pass.
+type Report struct {
+	Candidates []Candidate
+	Procs      []ProcReport
+	Acct       Accounting
+	// Duration is the virtual time the resurrection pass consumed.
+	Duration time.Duration
+}
+
+// Succeeded counts processes that continued or restarted.
+func (r *Report) Succeeded() int {
+	n := 0
+	for _, p := range r.Procs {
+		if p.Outcome == OutcomeContinued || p.Outcome == OutcomeRestarted {
+			n++
+		}
+	}
+	return n
+}
+
+// Engine drives resurrection inside a freshly booted crash kernel.
+type Engine struct {
+	// K is the crash kernel performing the resurrection.
+	K *kernel.Kernel
+	// MainGlobals is the dead kernel's globals anchor (the fixed
+	// compile-time physical address).
+	MainGlobals uint64
+	// VerifyCRC enables checksum validation while parsing the dead
+	// kernel's records (Section 4's integrity hardening).
+	VerifyCRC bool
+	// MapPages enables the footnote-3 optimization: resident pages are
+	// mapped in place instead of copied, "which would significantly
+	// increase the speed of resurrection of large processes".
+	MapPages bool
+	// ResurrectIPC enables the Section 7 future-work extension: pipes
+	// (when their semaphore was free at failure time) and sockets are
+	// restored instead of reported as missing. The paper's prototype did
+	// not do this; it is off by default.
+	ResurrectIPC bool
+
+	rd   reader
+	acct Accounting
+}
+
+// NewEngine prepares an engine over the crash kernel k.
+func NewEngine(k *kernel.Kernel, mainGlobals uint64, verifyCRC bool) *Engine {
+	e := &Engine{
+		K:           k,
+		MainGlobals: mainGlobals,
+		VerifyCRC:   verifyCRC,
+		acct:        Accounting{ByCategory: make(map[string]int64)},
+	}
+	e.rd = reader{mem: k.M.Mem, acct: &e.acct}
+	return e
+}
+
+// parseTime charges the fixed record-parse overhead to the virtual clock.
+func (e *Engine) parseTime() {
+	e.K.M.Clock.Advance(e.K.Cost().RecordParseOverhead)
+}
+
+// ListCandidates walks the dead kernel's process list. A corrupted globals
+// anchor or list produces an error: with nothing to anchor on, no process
+// can be resurrected.
+func (e *Engine) ListCandidates() ([]Candidate, error) {
+	g, err := layout.ReadGlobals(e.rd.at(CatGlobals), e.MainGlobals, e.VerifyCRC)
+	if err != nil {
+		return nil, fmt.Errorf("resurrect: main kernel globals: %w", err)
+	}
+	e.parseTime()
+	var out []Candidate
+	cur := g.ProcListHead
+	for hops := 0; cur != 0; hops++ {
+		if hops > 65536 {
+			return out, errors.New("resurrect: process list loop")
+		}
+		p, err := layout.ReadProc(e.rd.at(CatProc), cur, e.VerifyCRC)
+		if err != nil {
+			// The rest of the list is unreachable; report what we have.
+			return out, fmt.Errorf("resurrect: process record at %#x: %w", cur, err)
+		}
+		e.parseTime()
+		if p.State != layout.ProcZombie {
+			out = append(out, Candidate{
+				PID:       p.PID,
+				Name:      p.Name,
+				Program:   p.Program,
+				Addr:      cur,
+				CrashProc: p.CrashProc,
+			})
+		}
+		cur = p.Next
+	}
+	return out, nil
+}
+
+// MainSwapDevice resolves the dead kernel's swap partition by reading its
+// swap-area table and reopening the device by symbolic name (Section 3.3).
+func (e *Engine) MainSwapDevice() (devName string, err error) {
+	g, err := layout.ReadGlobals(e.rd.at(CatGlobals), e.MainGlobals, e.VerifyCRC)
+	if err != nil {
+		return "", err
+	}
+	if g.SwapTable == 0 {
+		return "", nil
+	}
+	t, err := layout.ReadSwapTable(e.rd.at(CatGlobals), g.SwapTable, e.VerifyCRC)
+	if err != nil {
+		return "", fmt.Errorf("resurrect: swap table: %w", err)
+	}
+	e.parseTime()
+	for _, a := range t.Areas {
+		if a.Active {
+			return a.Device, nil
+		}
+	}
+	return "", nil
+}
+
+// Run performs the full resurrection pass for the configured processes and
+// returns the report. The crash kernel must already be booted with working
+// memory available (AddFreeFrames).
+func (e *Engine) Run(cfg Config) *Report {
+	start := e.K.M.Clock.Now()
+	rep := &Report{Acct: Accounting{ByCategory: e.acct.ByCategory}}
+	cands, err := e.ListCandidates()
+	rep.Candidates = cands
+	if err != nil && len(cands) == 0 {
+		// Anchor corrupt: every selected process fails.
+		rep.Duration = e.K.M.Clock.Since(start)
+		return rep
+	}
+	mainSwapName, _ := e.MainSwapDevice()
+	for _, cand := range cands {
+		if !cfg.Wants(cand) {
+			continue
+		}
+		pr := e.resurrectOne(cand, mainSwapName)
+		rep.Procs = append(rep.Procs, pr)
+	}
+	rep.Acct = e.acct
+	rep.Duration = e.K.M.Clock.Since(start)
+	return rep
+}
+
+// resurrectOne rebuilds a single process. Failures of memory-critical
+// structures abort resurrection (Table 5's "failure to resurrect
+// application"); failures of peripheral resources set bits in the missing
+// mask and defer to the crash procedure (Table 1).
+func (e *Engine) resurrectOne(cand Candidate, mainSwapName string) ProcReport {
+	pr := ProcReport{Candidate: cand}
+	fail := func(err error) ProcReport {
+		pr.Outcome = OutcomeFailed
+		pr.Err = err
+		return pr
+	}
+
+	old, err := layout.ReadProc(e.rd.at(CatProc), cand.Addr, e.VerifyCRC)
+	if err != nil {
+		return fail(fmt.Errorf("process descriptor: %w", err))
+	}
+	e.parseTime()
+
+	if kernel.LookupProgram(old.Program) == nil {
+		return fail(fmt.Errorf("program %q not on disk", old.Program))
+	}
+
+	np, err := e.K.CreateProcessForResurrection(old.Name, old.Program)
+	if err != nil {
+		return fail(fmt.Errorf("create process: %w", err))
+	}
+	pr.NewPID = np.PID
+
+	// Saved hardware context from the dead kernel stack (Section 3.2).
+	ctx, ok, err := layout.ReadContext(e.rd.at(CatContext), old.KStack)
+	if err != nil || !ok || !ctx.Saved {
+		return fail(fmt.Errorf("saved context missing or unreadable on kernel stack %#x", old.KStack))
+	}
+	e.parseTime()
+
+	// Open files first so file-backed regions can reference the new
+	// records; also flush the dead kernel's dirty page-cache pages.
+	fileMap, flushed, err := e.restoreFiles(np, old)
+	if err != nil {
+		if layout.IsCorruption(err) {
+			pr.Missing |= kernel.ResFiles
+		} else {
+			return fail(fmt.Errorf("restore files: %w", err))
+		}
+	}
+	pr.DirtyFlushed = flushed
+
+	// Memory regions and page contents — corruption here is fatal: a
+	// process without its memory cannot run a crash procedure either.
+	if err := e.restoreRegions(np, old, fileMap); err != nil {
+		return fail(fmt.Errorf("restore regions: %w", err))
+	}
+	copied, restaged, err := e.restorePages(np, old, mainSwapName)
+	pr.PagesCopied, pr.PagesRestaged = copied, restaged
+	if err != nil {
+		return fail(fmt.Errorf("restore pages: %w", err))
+	}
+
+	// Shared memory (fatal on corruption: it is memory).
+	if err := e.restoreShm(np, old); err != nil {
+		return fail(fmt.Errorf("restore shm: %w", err))
+	}
+
+	// Terminal, signals: peripheral; corruption sets missing bits. Only
+	// physical terminals are restorable (Section 3.3); pseudo terminals
+	// are reported through the bitmask.
+	if old.Terminal != 0 {
+		if err := e.restoreTerminal(np, old); err != nil {
+			pr.Missing |= kernel.ResTerminal
+		}
+	}
+	if old.Signals != 0 {
+		// A corrupted signal table degrades to default handlers; it is
+		// not worth failing the resurrection over.
+		_ = e.restoreSignals(np, old)
+	}
+
+	// Pipes and sockets: the prototype reports them as missing
+	// (Section 3.3); with the Section 7 extension enabled they are
+	// restored — except pipes caught mid-operation, whose locked
+	// semaphore marks them inconsistent.
+	if e.ResurrectIPC {
+		if err := e.restorePipes(np, old); err != nil {
+			pr.Missing |= kernel.ResPipes
+		}
+		if err := e.restoreSockets(np, old); err != nil {
+			pr.Missing |= kernel.ResSockets
+		}
+	} else {
+		if has, _ := e.hasIPC(old.Pipes, layout.TypePipe); has {
+			pr.Missing |= kernel.ResPipes
+		}
+		if has, _ := e.hasIPC(old.Sockets, layout.TypeSocket); has {
+			pr.Missing |= kernel.ResSockets
+		}
+	}
+
+	if err := e.K.InstallContext(np, ctx); err != nil {
+		return fail(fmt.Errorf("install context: %w", err))
+	}
+
+	// Table 1 policy.
+	return e.applyPolicy(np, cand, pr)
+}
+
+// applyPolicy runs the crash procedure (if registered) and decides the
+// final outcome per Table 1.
+func (e *Engine) applyPolicy(np *kernel.Process, cand Candidate, pr ProcReport) ProcReport {
+	env := &kernel.Env{K: e.K, P: np}
+	proc := kernel.LookupCrashProc(cand.CrashProc)
+	if cand.CrashProc == "" || proc == nil {
+		if pr.Missing != 0 {
+			pr.Outcome = OutcomeFailed
+			pr.Err = fmt.Errorf("resources not resurrected (%s) and no crash procedure", pr.Missing)
+			_ = e.K.Exit(np, 1)
+			return pr
+		}
+		if err := np.Prog.Rehydrate(env); err != nil {
+			pr.Outcome = OutcomeFailed
+			pr.Err = fmt.Errorf("rehydrate: %w", err)
+			_ = e.K.Exit(np, 1)
+			return pr
+		}
+		pr.Outcome = OutcomeContinued
+		return pr
+	}
+
+	pr.CrashProcCalled = true
+	before := e.K.FS.BytesWritten()
+	action, err := proc(env, pr.Missing)
+	// Charge the crash procedure's disk writes to the virtual clock.
+	e.K.M.Clock.Advance(e.K.Cost().DiskWriteCost(e.K.FS.BytesWritten() - before))
+	if err != nil {
+		pr.Outcome = OutcomeFailed
+		pr.Err = fmt.Errorf("crash procedure: %w", err)
+		_ = e.K.Exit(np, 1)
+		return pr
+	}
+	switch action {
+	case kernel.ActionContinue:
+		if rerr := np.Prog.Rehydrate(env); rerr != nil {
+			pr.Outcome = OutcomeFailed
+			pr.Err = fmt.Errorf("rehydrate: %w", rerr)
+			_ = e.K.Exit(np, 1)
+			return pr
+		}
+		pr.Outcome = OutcomeContinued
+	case kernel.ActionRestart:
+		_ = e.K.Exit(np, 0)
+		fresh, rerr := e.K.CreateProcess(cand.Name, cand.Program)
+		if rerr != nil {
+			pr.Outcome = OutcomeFailed
+			pr.Err = fmt.Errorf("restart: %w", rerr)
+			return pr
+		}
+		pr.NewPID = fresh.PID
+		pr.Outcome = OutcomeRestarted
+	default:
+		_ = e.K.Exit(np, 1)
+		pr.Outcome = OutcomeGaveUp
+	}
+	return pr
+}

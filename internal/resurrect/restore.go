@@ -1,0 +1,324 @@
+package resurrect
+
+import (
+	"fmt"
+
+	"otherworld/internal/disk"
+	"otherworld/internal/kernel"
+	"otherworld/internal/layout"
+	"otherworld/internal/phys"
+)
+
+// restoreFiles walks the dead process's open-file list, flushes its dirty
+// page-cache pages to disk (Section 3.3's last resurrection step for files)
+// and reopens each file at the recorded offset into the same fd slot. It
+// returns a map from old FileRec addresses to new ones for region
+// back-references.
+func (e *Engine) restoreFiles(np *kernel.Process, old *layout.Proc) (map[uint64]uint64, int, error) {
+	fileMap := make(map[uint64]uint64)
+	flushed := 0
+	cur := old.Files
+	for hops := 0; cur != 0; hops++ {
+		if hops > 4096 {
+			return fileMap, flushed, &layout.CorruptionError{Addr: cur, Want: layout.TypeFile, Reason: "fd list loop"}
+		}
+		rec, err := layout.ReadFileRec(e.rd.at(CatFile), cur, e.VerifyCRC)
+		if err != nil {
+			return fileMap, flushed, err
+		}
+		e.parseTime()
+
+		n, err := e.flushDeadDirtyPages(rec)
+		if err != nil {
+			return fileMap, flushed, err
+		}
+		flushed += n
+
+		newAddr, err := e.K.InstallOpenFile(np, rec)
+		if err != nil {
+			return fileMap, flushed, err
+		}
+		fileMap[cur] = newAddr
+		cur = rec.Next
+	}
+	return fileMap, flushed, nil
+}
+
+// flushDeadDirtyPages writes the dead kernel's dirty page-cache pages for
+// one file out to disk, preserving buffered writes that had not reached the
+// disk when the kernel failed.
+func (e *Engine) flushDeadDirtyPages(rec *layout.FileRec) (int, error) {
+	flushed := 0
+	cur := rec.CachePages
+	for hops := 0; cur != 0; hops++ {
+		if hops > 65536 {
+			return flushed, &layout.CorruptionError{Addr: cur, Want: layout.TypeCachePage, Reason: "page cache loop"}
+		}
+		cp, err := layout.ReadCachePage(e.rd.at(CatCache), cur, e.VerifyCRC)
+		if err != nil {
+			return flushed, err
+		}
+		e.parseTime()
+		if cp.Dirty && cp.Bytes > 0 && cp.Bytes <= phys.PageSize {
+			buf := make([]byte, cp.Bytes)
+			if err := e.rd.at(CatUserData).ReadAt(cp.Frame*phys.PageSize, buf); err != nil {
+				return flushed, &layout.CorruptionError{Addr: cur, Want: layout.TypeCachePage, Reason: "cache frame unreadable"}
+			}
+			if _, err := e.K.FS.WriteAt(rec.Path, int64(cp.FileOff), buf, true); err != nil {
+				return flushed, err
+			}
+			e.K.M.Clock.Advance(e.K.Cost().DiskWriteCost(int64(cp.Bytes)))
+			flushed++
+		}
+		cur = cp.Next
+	}
+	return flushed, nil
+}
+
+// restoreRegions recreates the dead process's memory-region descriptors,
+// rewriting file back-references to the new kernel's records.
+func (e *Engine) restoreRegions(np *kernel.Process, old *layout.Proc, fileMap map[uint64]uint64) error {
+	cur := old.MemRegions
+	for hops := 0; cur != 0; hops++ {
+		if hops > 4096 {
+			return &layout.CorruptionError{Addr: cur, Want: layout.TypeMemRegion, Reason: "region list loop"}
+		}
+		r, err := layout.ReadMemRegion(e.rd.at(CatRegion), cur, e.VerifyCRC)
+		if err != nil {
+			return err
+		}
+		e.parseTime()
+		newFile := uint64(0)
+		if r.Kind == layout.RegionFileMap {
+			newFile = fileMap[r.File] // 0 if the file failed to reopen
+		}
+		if err := e.K.InstallRegion(np, r, newFile); err != nil {
+			return err
+		}
+		cur = r.Next
+	}
+	return nil
+}
+
+// restorePages walks the dead process's hardware page tables and transfers
+// every touched page: resident pages are copied into fresh frames; swapped
+// pages are read raw from the dead kernel's swap partition and re-staged
+// onto the crash kernel's own partition (Section 3.2). Page-directory and
+// page-table pages are read whole, which is why they dominate Table 4.
+func (e *Engine) restorePages(np *kernel.Process, old *layout.Proc, mainSwapName string) (copied, restaged int, err error) {
+	var mainSwap *disk.BlockDevice
+	if mainSwapName != "" {
+		if dev, derr := e.K.M.Bus.Open(mainSwapName); derr == nil {
+			mainSwap = dev
+		}
+	}
+
+	if old.PageDir%phys.PageSize != 0 || old.PageDir >= uint64(e.K.M.Mem.Size()) {
+		return 0, 0, fmt.Errorf("page directory address %#x implausible", old.PageDir)
+	}
+	dirPage := make([]byte, phys.PageSize)
+	if err := e.rd.at(CatPageTable).ReadAt(old.PageDir, dirPage); err != nil {
+		return 0, 0, fmt.Errorf("page directory unreadable: %v", err)
+	}
+
+	ptPage := make([]byte, phys.PageSize)
+	pageBuf := make([]byte, phys.PageSize)
+	for dir := 0; dir < layout.DirEntries; dir++ {
+		dirEnt := leU64(dirPage[dir*8:])
+		if dirEnt == 0 {
+			continue
+		}
+		if dirEnt%phys.PageSize != 0 || dirEnt >= uint64(e.K.M.Mem.Size()) {
+			return copied, restaged, fmt.Errorf("page directory entry %d (%#x) corrupt", dir, dirEnt)
+		}
+		if err := e.rd.at(CatPageTable).ReadAt(dirEnt, ptPage); err != nil {
+			return copied, restaged, fmt.Errorf("page table unreadable: %v", err)
+		}
+		for t := 0; t < layout.PTEsPerPage; t++ {
+			pte := layout.PTE(leU64(ptPage[t*8:]))
+			if pte == 0 {
+				continue
+			}
+			va := layout.VirtJoin(dir, t, 0)
+			switch {
+			case pte.Present():
+				frame := pte.Frame()
+				if frame >= e.K.M.Mem.NumFrames() {
+					return copied, restaged, fmt.Errorf("PTE for %#x references frame %d beyond memory", va, frame)
+				}
+				if e.MapPages {
+					// Footnote-3 fast path: adopt the frame in place.
+					if err := e.K.InstallResidentPageMapped(np, va, frame, pte.Writable(), pte.Dirty()); err != nil {
+						return copied, restaged, err
+					}
+					e.K.M.Clock.Advance(e.K.Cost().RecordParseOverhead)
+				} else {
+					if err := e.rd.at(CatUserData).ReadAt(phys.FrameAddr(frame), pageBuf); err != nil {
+						return copied, restaged, err
+					}
+					if err := e.K.InstallResidentPage(np, va, pageBuf, pte.Writable(), pte.Dirty()); err != nil {
+						return copied, restaged, err
+					}
+					e.K.M.Clock.Advance(e.K.Cost().CopyCost(phys.PageSize))
+				}
+				copied++
+			case pte.Swapped():
+				if mainSwap == nil {
+					return copied, restaged, fmt.Errorf("swapped PTE for %#x but main swap partition unavailable", va)
+				}
+				data, derr := disk.ReadRaw(mainSwap, pte.SwapSlot())
+				if derr != nil {
+					return copied, restaged, fmt.Errorf("swap slot %d: %v", pte.SwapSlot(), derr)
+				}
+				e.acct.ByCategory[CatSwapData] += int64(len(data))
+				if err := e.K.InstallSwappedPage(np, va, data, pte.Writable()); err != nil {
+					return copied, restaged, err
+				}
+				e.K.M.Clock.Advance(e.K.Cost().SwapRestageCost(phys.PageSize))
+				restaged++
+			}
+		}
+	}
+	return copied, restaged, nil
+}
+
+// restoreShm copies each shared-memory segment's pages into a new segment
+// attached at the original address.
+func (e *Engine) restoreShm(np *kernel.Process, old *layout.Proc) error {
+	cur := old.Shm
+	for hops := 0; cur != 0; hops++ {
+		if hops > 4096 {
+			return &layout.CorruptionError{Addr: cur, Want: layout.TypeShm, Reason: "shm list loop"}
+		}
+		seg, err := layout.ReadShm(e.rd.at(CatShm), cur, e.VerifyCRC)
+		if err != nil {
+			return err
+		}
+		e.parseTime()
+		contents := make([]byte, seg.Size)
+		for i, f := range seg.Frames {
+			if f >= uint64(e.K.M.Mem.NumFrames()) {
+				return fmt.Errorf("shm frame %d beyond memory", f)
+			}
+			off := i * phys.PageSize
+			n := phys.PageSize
+			if off+n > len(contents) {
+				n = len(contents) - off
+			}
+			if n <= 0 {
+				break
+			}
+			buf := make([]byte, n)
+			if err := e.rd.at(CatUserData).ReadAt(f*phys.PageSize, buf); err != nil {
+				return err
+			}
+			copy(contents[off:], buf)
+		}
+		if err := e.K.InstallShm(np, seg, contents); err != nil {
+			return err
+		}
+		e.K.M.Clock.Advance(e.K.Cost().CopyCost(int64(len(contents))))
+		cur = seg.Next
+	}
+	return nil
+}
+
+// restoreTerminal rebuilds the process's physical terminal from the dead
+// kernel's record and screen buffer. Pseudo terminals are refused — the
+// prototype "can only restore the state of physical terminals".
+func (e *Engine) restoreTerminal(np *kernel.Process, old *layout.Proc) error {
+	rec, err := layout.ReadTerminal(e.rd.at(CatTerminal), old.Terminal, e.VerifyCRC)
+	if err != nil {
+		return err
+	}
+	e.parseTime()
+	if rec.Settings&kernel.TermPseudo != 0 {
+		return fmt.Errorf("pseudo terminal %d is not resurrectable", rec.Index)
+	}
+	screen := make([]byte, int(rec.Rows)*int(rec.Cols))
+	if err := e.rd.at(CatTerminal).ReadAt(rec.Screen, screen); err != nil {
+		return err
+	}
+	return e.K.InstallTerminal(np, rec, screen)
+}
+
+// restoreSignals rebuilds the signal-handler table.
+func (e *Engine) restoreSignals(np *kernel.Process, old *layout.Proc) error {
+	tbl, err := layout.ReadSignals(e.rd.at(CatSignals), old.Signals, e.VerifyCRC)
+	if err != nil {
+		return err
+	}
+	e.parseTime()
+	return e.K.InstallSignals(np, tbl)
+}
+
+// restorePipes rebuilds the process's pipes (Section 7 extension). A
+// locked pipe aborts the pass: its state is inconsistent by the paper's
+// Section 3.3 argument.
+func (e *Engine) restorePipes(np *kernel.Process, old *layout.Proc) error {
+	cur := old.Pipes
+	for hops := 0; cur != 0; hops++ {
+		if hops > 4096 {
+			return &layout.CorruptionError{Addr: cur, Want: layout.TypePipe, Reason: "pipe list loop"}
+		}
+		rec, err := layout.ReadPipe(e.rd.at(CatIPC), cur, e.VerifyCRC)
+		if err != nil {
+			return err
+		}
+		e.parseTime()
+		buf := make([]byte, phys.PageSize)
+		if rec.Buf+phys.PageSize <= uint64(e.K.M.Mem.Size()) {
+			if err := e.rd.at(CatUserData).ReadAt(rec.Buf, buf); err != nil {
+				return err
+			}
+		}
+		if err := e.K.InstallPipe(np, rec, buf); err != nil {
+			return err
+		}
+		cur = rec.Next
+	}
+	return nil
+}
+
+// restoreSockets rebinds the process's sockets with their recorded
+// connection parameters (Section 7 extension).
+func (e *Engine) restoreSockets(np *kernel.Process, old *layout.Proc) error {
+	cur := old.Sockets
+	for hops := 0; cur != 0; hops++ {
+		if hops > 4096 {
+			return &layout.CorruptionError{Addr: cur, Want: layout.TypeSocket, Reason: "socket list loop"}
+		}
+		rec, err := layout.ReadSocket(e.rd.at(CatIPC), cur, e.VerifyCRC)
+		if err != nil {
+			return err
+		}
+		e.parseTime()
+		if err := e.K.InstallSocket(np, rec); err != nil {
+			return err
+		}
+		cur = rec.Next
+	}
+	return nil
+}
+
+// hasIPC reports whether a pipe/socket list is non-empty. A corrupted list
+// head is conservatively treated as present.
+func (e *Engine) hasIPC(head uint64, t layout.Type) (bool, error) {
+	if head == 0 {
+		return false, nil
+	}
+	var err error
+	switch t {
+	case layout.TypePipe:
+		_, err = layout.ReadPipe(e.rd.at(CatIPC), head, e.VerifyCRC)
+	case layout.TypeSocket:
+		_, err = layout.ReadSocket(e.rd.at(CatIPC), head, e.VerifyCRC)
+	}
+	e.parseTime()
+	return true, err
+}
+
+func leU64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}

@@ -1,0 +1,47 @@
+package sim
+
+import "math/rand"
+
+// RNG is a seeded, replayable random source. It wraps math/rand.Rand so
+// every experiment in the reproduction can be rerun bit-for-bit from its
+// seed, which the paper's fault-injection methodology (Section 6) requires
+// for debugging individual failed resurrections.
+type RNG struct {
+	*rand.Rand
+	seed int64
+}
+
+// NewRNG returns a deterministic source for the given seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{Rand: rand.New(rand.NewSource(seed)), seed: seed}
+}
+
+// Seed returns the seed the source was created with.
+func (r *RNG) Seed() int64 { return r.seed }
+
+// Split derives an independent child source. Campaign code gives each
+// experiment its own child so that adding instrumentation to one experiment
+// cannot perturb the random stream of the next.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Int63())
+}
+
+// Pick returns a uniformly random element index for a collection of size n.
+// It returns 0 for n <= 1 so callers can index without guarding.
+func (r *RNG) Pick(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return r.Intn(n)
+}
+
+// Chance reports true with probability p (clamped to [0, 1]).
+func (r *RNG) Chance(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}

@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock()
+	if c.Now() != 0 {
+		t.Fatal("clock should start at zero")
+	}
+	c.Advance(3 * time.Second)
+	c.Advance(-5 * time.Second) // ignored: time never reverses
+	if c.Now() != 3*time.Second {
+		t.Fatalf("now = %v", c.Now())
+	}
+	mark := c.Now()
+	c.Advance(2 * time.Second)
+	if c.Since(mark) != 2*time.Second {
+		t.Fatalf("since = %v", c.Since(mark))
+	}
+	if c.String() != "t=5.0s" {
+		t.Fatalf("string = %q", c.String())
+	}
+}
+
+func TestCostModelTable6Shape(t *testing.T) {
+	m := DefaultCostModel()
+	// Cold boot to an interactive shell: paper's Table 6 first row (64s).
+	cold := m.ColdBoot() + m.InitScripts
+	if cold != 64*time.Second {
+		t.Fatalf("cold boot to shell = %v, want 64s", cold)
+	}
+	// Shell interruption: crash-kernel boot + crash extras + init
+	// scripts, paper 53s before (small) resurrection work.
+	interruption := m.CrashKernelBoot() + m.CrashExtra + m.InitScripts
+	if interruption != 53*time.Second {
+		t.Fatalf("shell interruption = %v, want 53s", interruption)
+	}
+	// The crash kernel must be cheaper than a cold boot by exactly the
+	// BIOS + boot loader it skips, minus its own extra work.
+	if m.CrashKernelBoot() >= m.ColdBoot() {
+		t.Fatal("crash kernel boot should skip BIOS and boot loader")
+	}
+}
+
+func TestBandwidthCosts(t *testing.T) {
+	m := DefaultCostModel()
+	if m.CopyCost(0) != 0 || m.CopyCost(-5) != 0 {
+		t.Fatal("non-positive sizes must cost nothing")
+	}
+	// Copying is much faster than disk, which is what makes in-memory
+	// checkpointing ~10x cheaper (Section 5.4).
+	n := int64(100 << 20)
+	if m.CopyCost(n)*5 > m.DiskWriteCost(n) {
+		t.Fatalf("memory copy (%v) should be ≫ faster than disk (%v)",
+			m.CopyCost(n), m.DiskWriteCost(n))
+	}
+	if m.SwapRestageCost(4096) <= 0 {
+		t.Fatal("restage must cost time")
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same seed must replay identically")
+		}
+	}
+	if a.Seed() != 7 {
+		t.Fatalf("seed = %d", a.Seed())
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	parent := NewRNG(1)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	if c1.Seed() == c2.Seed() {
+		t.Fatal("children should differ")
+	}
+}
+
+func TestRNGPickBounds(t *testing.T) {
+	r := NewRNG(3)
+	if r.Pick(0) != 0 || r.Pick(1) != 0 {
+		t.Fatal("degenerate picks should be 0")
+	}
+	for i := 0; i < 100; i++ {
+		if p := r.Pick(5); p < 0 || p >= 5 {
+			t.Fatalf("pick out of range: %d", p)
+		}
+	}
+}
+
+func TestRNGChance(t *testing.T) {
+	r := NewRNG(4)
+	if r.Chance(0) {
+		t.Fatal("p=0 must be false")
+	}
+	if !r.Chance(1) {
+		t.Fatal("p=1 must be true")
+	}
+	hits := 0
+	for i := 0; i < 10000; i++ {
+		if r.Chance(0.3) {
+			hits++
+		}
+	}
+	if hits < 2700 || hits > 3300 {
+		t.Fatalf("p=0.3 produced %d/10000", hits)
+	}
+}

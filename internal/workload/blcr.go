@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"fmt"
+
+	"otherworld/internal/apps"
+	"otherworld/internal/core"
+)
+
+// BLCRDriver runs the Section 5.4 workload: "periodic in-memory
+// checkpointing of a test application". The computation needs no external
+// input; the driver verifies after a microreboot that the application can
+// be restored from its in-memory checkpoint with uncorrupted data.
+type BLCRDriver struct {
+	m     *core.Machine
+	acked int
+}
+
+// NewBLCRDriver builds the checkpointing workload.
+func NewBLCRDriver(seed int64) *BLCRDriver { return &BLCRDriver{} }
+
+// Name returns the display name.
+func (d *BLCRDriver) Name() string { return "BLCR" }
+
+// Program returns the registry name.
+func (d *BLCRDriver) Program() string { return apps.ProgBLCR }
+
+// Start launches the checkpointed application.
+func (d *BLCRDriver) Start(m *core.Machine) error {
+	d.m = m
+	_, err := m.Start("blcr-app", apps.ProgBLCR)
+	return err
+}
+
+// Reattach is a no-op: the computation has no external connections.
+func (d *BLCRDriver) Reattach(m *core.Machine) error { return nil }
+
+// Pump is a no-op: the computation is self-driving.
+func (d *BLCRDriver) Pump(m *core.Machine, n int) { d.m = m }
+
+// Acked reports the application's live iteration count.
+func (d *BLCRDriver) Acked() int {
+	if d.m == nil {
+		return d.acked
+	}
+	env, err := EnvFor(d.m, apps.ProgBLCR)
+	if err != nil {
+		return d.acked
+	}
+	snap, err := apps.SnapshotBLCR(env)
+	if err != nil {
+		return d.acked
+	}
+	d.acked = int(snap.Iter)
+	return d.acked
+}
+
+// expectedSecondWord computes the value iteration traffic should have left
+// at page p's second word after iter committed iterations: the last i<iter
+// writing p, or 0 if none. The stride writes pages i*8..i*8+7 (mod pages).
+func expectedSecondWord(page uint64, iter uint64) uint64 {
+	if iter == 0 {
+		return 0
+	}
+	period := uint64(apps.BLCRDataPages / 8)
+	want := page / 8 // i mod period == want
+	last := (iter - 1) - (iter-1+period-want)%period
+	if last > iter-1 { // underflow: never written
+		return 0
+	}
+	if last%period != want {
+		return 0
+	}
+	return last
+}
+
+// Verify checks the computation's data region and the in-memory checkpoint
+// against the deterministic iteration pattern.
+func (d *BLCRDriver) Verify(m *core.Machine) error {
+	env, err := EnvFor(m, apps.ProgBLCR)
+	if err != nil {
+		return err
+	}
+	snap, err := apps.SnapshotBLCR(env)
+	if err != nil {
+		return fmt.Errorf("BLCR: %w", err)
+	}
+	d.acked = int(snap.Iter)
+	// Every page's first word must still hold its index, and second word
+	// the last iteration that wrote it (possibly iter itself: a crashed
+	// step replays idempotently, so values for iter are also legal).
+	for i := uint64(0); i < apps.BLCRDataPages; i++ {
+		first, err := env.ReadU64(apps.BLCRDataVA + i*4096)
+		if err != nil {
+			return err
+		}
+		if first != i {
+			return fmt.Errorf("BLCR: page %d identity word corrupted: %d", i, first)
+		}
+		second, err := env.ReadU64(apps.BLCRDataVA + i*4096 + 8)
+		if err != nil {
+			return err
+		}
+		want := expectedSecondWord(i, snap.Iter)
+		wantNext := expectedSecondWord(i, snap.Iter+1)
+		if second != want && second != wantNext {
+			return fmt.Errorf("BLCR: page %d iteration word %d, want %d (or in-flight %d)", i, second, want, wantNext)
+		}
+	}
+	if snap.Iter >= apps.BLCRCheckpointEvery && !snap.CkptValid {
+		return fmt.Errorf("BLCR: in-memory checkpoint invalid after %d iterations", snap.Iter)
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"otherworld/internal/apps"
+)
+
+// TestApacheDriverDetectsPlantedCorruption plants a byte of corruption in a
+// committed session value — what an undetected wild write would do — and
+// requires the driver's verification to catch it. This is the sensitivity
+// check behind Table 5's data-corruption column: silent corruption of
+// acknowledged state cannot slip past the remote log.
+func TestApacheDriverDetectsPlantedCorruption(t *testing.T) {
+	m := testMachine(t, 606)
+	d := NewApacheDriver(7)
+	if err := d.Start(m); err != nil {
+		t.Fatal(err)
+	}
+	RunUntilIdle(m, d, 120, 6000)
+	if err := d.Verify(m); err != nil {
+		t.Fatalf("clean verify: %v", err)
+	}
+
+	env, err := EnvFor(m, apps.ProgApache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessions, err := apps.ApacheSnapshot(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sessions) == 0 {
+		t.Fatal("no sessions")
+	}
+	var victim uint64
+	for id := range sessions {
+		victim = id
+		break
+	}
+	if err := apps.CorruptSessionByte(env, victim); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := d.Verify(m); err == nil {
+		t.Fatal("planted corruption went undetected")
+	} else if !strings.Contains(err.Error(), "Apache/PHP") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestMySQLDriverDetectsPlantedCorruption does the same for the database:
+// flip one byte of a committed row and verification must fail.
+func TestMySQLDriverDetectsPlantedCorruption(t *testing.T) {
+	m := testMachine(t, 607)
+	d := NewMySQLDriver(8)
+	if err := d.Start(m); err != nil {
+		t.Fatal(err)
+	}
+	RunUntilIdle(m, d, 120, 6000)
+	if err := d.Verify(m); err != nil {
+		t.Fatalf("clean verify: %v", err)
+	}
+	env, err := EnvFor(m, apps.ProgMySQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := apps.CorruptRowByte(env); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Verify(m); err == nil {
+		t.Fatal("planted corruption went undetected")
+	}
+}

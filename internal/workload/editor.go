@@ -1,0 +1,180 @@
+package workload
+
+import (
+	"fmt"
+
+	"otherworld/internal/apps"
+	"otherworld/internal/core"
+	"otherworld/internal/sim"
+)
+
+// EditorDriver replays "a sequence of keystrokes that emulated a working
+// user" into vi or JOE and verifies the document, undo buffer and terminal
+// survive microreboots.
+type EditorDriver struct {
+	name    string
+	program string
+	rng     *sim.RNG
+
+	// budget is how many keystrokes the user will type when asked.
+	budget int
+	// consumed logs every keystroke the editor actually read, in order —
+	// the remote progress log.
+	consumed []byte
+	// dropCandidates indexes keystrokes that were consumed immediately
+	// before a kernel crash: each may have been lost before its atomic
+	// commit, so verification must accept the log with or without it.
+	dropCandidates []int
+	termIdx        uint32
+}
+
+// NewEditorDriver builds a keystroke workload for the given editor program
+// (apps.ProgVi, apps.ProgJoe or apps.ProgJoeUnpatched).
+func NewEditorDriver(name, program string, seed int64) *EditorDriver {
+	return &EditorDriver{name: name, program: program, rng: sim.NewRNG(seed)}
+}
+
+// Name returns the display name.
+func (d *EditorDriver) Name() string { return d.name }
+
+// Program returns the registry name.
+func (d *EditorDriver) Program() string { return d.program }
+
+// nextKey synthesizes the user's next keystroke: mostly text, with
+// occasional newlines, backspaces, undos and saves.
+func (d *EditorDriver) nextKey() byte {
+	r := d.rng.Float64()
+	switch {
+	case r < 0.78:
+		return byte('a' + d.rng.Intn(26))
+	case r < 0.85:
+		return '\n'
+	case r < 0.91:
+		return apps.KeyBackspace
+	case r < 0.97:
+		return apps.KeyUndo
+	default:
+		return apps.KeySave
+	}
+}
+
+// Start launches the editor and connects the keyboard.
+func (d *EditorDriver) Start(m *core.Machine) error {
+	p, err := m.Start(d.name, d.program)
+	if err != nil {
+		return err
+	}
+	d.termIdx = p.PID
+	d.attachKeyboard(m)
+	return nil
+}
+
+// attachKeyboard wires the scripted keystroke source to the terminal.
+func (d *EditorDriver) attachKeyboard(m *core.Machine) {
+	m.Consoles.AttachInput(d.termIdx, func() (byte, bool) {
+		if d.budget <= 0 {
+			return 0, false
+		}
+		d.budget--
+		k := d.nextKey()
+		d.consumed = append(d.consumed, k)
+		return k, true
+	})
+}
+
+// Reattach re-binds the keyboard after a microreboot and marks the
+// keystroke in flight at crash time as possibly lost.
+func (d *EditorDriver) Reattach(m *core.Machine) error {
+	if n := len(d.consumed); n > 0 {
+		d.dropCandidates = append(d.dropCandidates, n-1)
+	}
+	d.attachKeyboard(m)
+	return nil
+}
+
+// Pump grants the user n more keystrokes.
+func (d *EditorDriver) Pump(m *core.Machine, n int) { d.budget += n }
+
+// Acked counts consumed keystrokes.
+func (d *EditorDriver) Acked() int { return len(d.consumed) }
+
+// editorModel is the shadow state the keystroke semantics produce.
+type editorModel struct {
+	doc   []byte
+	undo  [][2]byte
+	saves int
+}
+
+func (mo *editorModel) apply(key byte) {
+	switch key {
+	case apps.KeyBackspace:
+		if len(mo.doc) > 0 {
+			ch := mo.doc[len(mo.doc)-1]
+			mo.doc = mo.doc[:len(mo.doc)-1]
+			mo.undo = append(mo.undo, [2]byte{2, ch})
+		}
+	case apps.KeyUndo:
+		if len(mo.undo) > 0 {
+			e := mo.undo[len(mo.undo)-1]
+			mo.undo = mo.undo[:len(mo.undo)-1]
+			if e[0] == 1 {
+				if len(mo.doc) > 0 {
+					mo.doc = mo.doc[:len(mo.doc)-1]
+				}
+			} else {
+				mo.doc = append(mo.doc, e[1])
+			}
+		}
+	case apps.KeySave:
+		mo.saves++
+	default:
+		mo.doc = append(mo.doc, key)
+		mo.undo = append(mo.undo, [2]byte{1, key})
+	}
+}
+
+// replay builds the expected state from the consumed log, skipping the
+// indices in drop (keystrokes lost to an uncommitted step at crash time).
+func (d *EditorDriver) replay(drop map[int]bool) *editorModel {
+	mo := &editorModel{}
+	for i, k := range d.consumed {
+		if drop[i] {
+			continue
+		}
+		mo.apply(k)
+	}
+	return mo
+}
+
+// Verify compares the editor's memory against the consumed-keystroke log.
+// Each crash may have lost the one keystroke in flight at that moment, so
+// every subset of the drop candidates is acceptable.
+func (d *EditorDriver) Verify(m *core.Machine) error {
+	env, err := EnvFor(m, d.program)
+	if err != nil {
+		return err
+	}
+	snap, err := apps.SnapshotEditor(env)
+	if err != nil {
+		return fmt.Errorf("%s: %w", d.name, err)
+	}
+	cands := d.dropCandidates
+	if len(cands) > 4 {
+		cands = cands[len(cands)-4:] // bound the subset search
+	}
+	for mask := 0; mask < 1<<len(cands); mask++ {
+		drop := make(map[int]bool)
+		for i, idx := range cands {
+			if mask&(1<<i) != 0 {
+				drop[idx] = true
+			}
+		}
+		mo := d.replay(drop)
+		if snap.Doc == string(mo.doc) && int(snap.UndoLen) == len(mo.undo) {
+			return nil
+		}
+	}
+	mo := d.replay(nil)
+	return fmt.Errorf("%s: document diverged from keystroke log: got %d bytes / undo %d, want %d bytes / undo %d",
+		d.name, len(snap.Doc), snap.UndoLen, len(mo.doc), len(mo.undo))
+}

@@ -1,0 +1,142 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"otherworld/internal/apps"
+	"otherworld/internal/core"
+	"otherworld/internal/kernel"
+)
+
+// TestEditorModelMatchesApplication is the model-equivalence property: for
+// arbitrary keystroke sequences, the in-simulation editor and the driver's
+// shadow model must agree byte-for-byte. This is what makes Table 5's
+// data-corruption verdicts trustworthy: any divergence after a crash is
+// corruption, not model drift.
+func TestEditorModelMatchesApplication(t *testing.T) {
+	check := func(raw []byte) bool {
+		if len(raw) > 120 {
+			raw = raw[:120]
+		}
+		// Map arbitrary bytes onto the editor's input alphabet.
+		keys := make([]byte, len(raw))
+		for i, b := range raw {
+			switch b % 10 {
+			case 0:
+				keys[i] = apps.KeyBackspace
+			case 1:
+				keys[i] = apps.KeyUndo
+			case 2:
+				keys[i] = apps.KeySave
+			case 3:
+				keys[i] = '\n'
+			default:
+				keys[i] = 'a' + b%26
+			}
+		}
+
+		m := testMachine(t, 5)
+		p, err := m.Start("vi", apps.ProgVi)
+		if err != nil {
+			return false
+		}
+		i := 0
+		m.Consoles.AttachInput(p.PID, func() (byte, bool) {
+			if i >= len(keys) {
+				return 0, false
+			}
+			k := keys[i]
+			i++
+			return k, true
+		})
+		if res := m.Run(len(keys)*4 + 20); res.Panic != nil {
+			return false
+		}
+
+		mo := &editorModel{}
+		for _, k := range keys {
+			mo.apply(k)
+		}
+		env := &kernel.Env{K: m.K, P: p}
+		snap, err := apps.SnapshotEditor(env)
+		if err != nil {
+			return false
+		}
+		return snap.Doc == string(mo.doc) &&
+			int(snap.UndoLen) == len(mo.undo) &&
+			int(snap.Saves) == mo.saves
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMySQLShadowMatchesTableAfterMixedOps drives inserts, updates and
+// deletes and requires the snapshot to equal the acknowledged log exactly
+// in the absence of crashes.
+func TestMySQLShadowMatchesTableAfterMixedOps(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		m := testMachine(t, 200+seed)
+		d := NewMySQLDriver(seed)
+		if err := d.Start(m); err != nil {
+			t.Fatal(err)
+		}
+		RunUntilIdle(m, d, 150, 8000)
+		if d.Acked() < 100 {
+			t.Fatalf("seed %d: only %d acked", seed, d.Acked())
+		}
+		if err := d.Verify(m); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		env, err := EnvFor(m, apps.ProgMySQL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, err := apps.MySQLSnapshot(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != len(d.rows) {
+			t.Fatalf("seed %d: table %d rows, log %d", seed, len(rows), len(d.rows))
+		}
+	}
+}
+
+// TestDriversSurviveTwoMicroreboots runs each stateful driver through two
+// consecutive crashes with verification after each.
+func TestDriversSurviveTwoMicroreboots(t *testing.T) {
+	for _, mk := range []func() Driver{
+		func() Driver { return NewEditorDriver("vi", "vi", 71) },
+		func() Driver { return NewMySQLDriver(72) },
+		func() Driver { return NewApacheDriver(73) },
+	} {
+		d := mk()
+		t.Run(d.Name(), func(t *testing.T) {
+			m := testMachine(t, 400)
+			if err := d.Start(m); err != nil {
+				t.Fatal(err)
+			}
+			for round := 0; round < 2; round++ {
+				RunUntilIdle(m, d, 80, 4000)
+				if err := m.K.InjectOops("round crash"); err == nil {
+					t.Fatal("no panic")
+				}
+				out, err := m.HandleFailure()
+				if err != nil || out.Result != core.ResultRecovered {
+					t.Fatalf("round %d: %v %v", round, out, err)
+				}
+				if err := d.Reattach(m); err != nil {
+					t.Fatal(err)
+				}
+				RunUntilIdle(m, d, 40, 2500)
+				if err := d.Verify(m); err != nil {
+					t.Fatalf("round %d verify: %v", round, err)
+				}
+			}
+			if m.Reboots != 2 {
+				t.Fatalf("reboots = %d", m.Reboots)
+			}
+		})
+	}
+}

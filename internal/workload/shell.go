@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"otherworld/internal/apps"
+	"otherworld/internal/core"
+	"otherworld/internal/sim"
+)
+
+// ShellDriver types commands at the interactive shell of Table 6's first
+// row and verifies the command history (and therefore the user's screen)
+// survives microreboots.
+type ShellDriver struct {
+	rng *sim.RNG
+
+	budget   int
+	consumed []byte
+	// dropCandidates indexes keystrokes possibly lost at each crash.
+	dropCandidates []int
+	termIdx        uint32
+}
+
+// NewShellDriver builds the interactive-shell workload.
+func NewShellDriver(seed int64) *ShellDriver {
+	return &ShellDriver{rng: sim.NewRNG(seed)}
+}
+
+// Name returns the display name.
+func (d *ShellDriver) Name() string { return "shell" }
+
+// Program returns the registry name.
+func (d *ShellDriver) Program() string { return apps.ProgShell }
+
+// Start launches the shell and connects the keyboard.
+func (d *ShellDriver) Start(m *core.Machine) error {
+	p, err := m.Start("sh", apps.ProgShell)
+	if err != nil {
+		return err
+	}
+	d.termIdx = p.PID
+	d.attach(m)
+	return nil
+}
+
+func (d *ShellDriver) attach(m *core.Machine) {
+	m.Consoles.AttachInput(d.termIdx, func() (byte, bool) {
+		if d.budget <= 0 {
+			return 0, false
+		}
+		d.budget--
+		var k byte
+		if d.rng.Float64() < 0.18 {
+			k = '\n'
+		} else {
+			k = byte('a' + d.rng.Intn(26))
+		}
+		d.consumed = append(d.consumed, k)
+		return k, true
+	})
+}
+
+// Reattach re-binds the keyboard after a microreboot.
+func (d *ShellDriver) Reattach(m *core.Machine) error {
+	if n := len(d.consumed); n > 0 {
+		d.dropCandidates = append(d.dropCandidates, n-1)
+	}
+	d.attach(m)
+	return nil
+}
+
+// Pump grants the user n more keystrokes.
+func (d *ShellDriver) Pump(m *core.Machine, n int) { d.budget += n }
+
+// Acked counts consumed keystrokes.
+func (d *ShellDriver) Acked() int { return len(d.consumed) }
+
+// Verify compares the shell history against the keystroke log, allowing
+// each crash's in-flight keystroke to be absent.
+func (d *ShellDriver) Verify(m *core.Machine) error {
+	env, err := EnvFor(m, apps.ProgShell)
+	if err != nil {
+		return err
+	}
+	snap, err := apps.SnapshotShell(env)
+	if err != nil {
+		return fmt.Errorf("shell: %w", err)
+	}
+	cands := d.dropCandidates
+	if len(cands) > 4 {
+		cands = cands[len(cands)-4:]
+	}
+	for mask := 0; mask < 1<<len(cands); mask++ {
+		var b strings.Builder
+		drop := make(map[int]bool)
+		for i, idx := range cands {
+			if mask&(1<<i) != 0 {
+				drop[idx] = true
+			}
+		}
+		for i, k := range d.consumed {
+			if !drop[i] {
+				b.WriteByte(k)
+			}
+		}
+		if snap.History == b.String() {
+			return nil
+		}
+	}
+	return fmt.Errorf("shell: history (%d bytes) diverged from keystroke log (%d keys)",
+		len(snap.History), len(d.consumed))
+}

@@ -1,0 +1,73 @@
+package workload
+
+import (
+	"testing"
+
+	"otherworld/internal/core"
+)
+
+// TestFleetSoakFiveMicroreboots drives the full fleet through five
+// consecutive microreboots — alternating crash-kernel slots, alternating
+// swap partitions, repeated crash-procedure restarts — verifying every
+// application after every recovery. This is the long-haul stability story:
+// the machine keeps absorbing kernel failures indefinitely.
+func TestFleetSoakFiveMicroreboots(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test in -short mode")
+	}
+	m := testMachine(t, 4242)
+	fleet := []Driver{
+		NewEditorDriver("vi", "vi", 1),
+		NewMySQLDriver(2),
+		NewApacheDriver(3),
+		NewBLCRDriver(4),
+	}
+	for _, d := range fleet {
+		if err := d.Start(m); err != nil {
+			t.Fatalf("%s: %v", d.Name(), err)
+		}
+	}
+	for round := 0; round < 5; round++ {
+		for _, d := range fleet {
+			d.Pump(m, 50)
+		}
+		if res := m.Run(4000); res.Panic != nil {
+			t.Fatalf("round %d: unexpected panic %v", round, res.Panic)
+		}
+		if err := m.K.InjectOops("soak crash"); err == nil {
+			t.Fatal("no panic")
+		}
+		out, err := m.HandleFailure()
+		if err != nil || out.Result != core.ResultRecovered {
+			t.Fatalf("round %d: recover %v %v", round, out, err)
+		}
+		for _, pr := range out.Report.Procs {
+			if pr.Err != nil {
+				t.Fatalf("round %d: %s: %v", round, pr.Candidate.Name, pr.Err)
+			}
+		}
+		for _, d := range fleet {
+			if err := d.Reattach(m); err != nil {
+				t.Fatalf("round %d: %s reattach: %v", round, d.Name(), err)
+			}
+		}
+		for _, d := range fleet {
+			d.Pump(m, 20)
+		}
+		if res := m.Run(2500); res.Panic != nil {
+			t.Fatalf("round %d: post-recovery panic %v", round, res.Panic)
+		}
+		for _, d := range fleet {
+			if err := d.Verify(m); err != nil {
+				t.Fatalf("round %d: %s verify: %v", round, d.Name(), err)
+			}
+		}
+	}
+	if m.Reboots != 5 {
+		t.Fatalf("reboots = %d", m.Reboots)
+	}
+	// The kernel generation advanced each time.
+	if m.K.Globals.BootCount != 5 {
+		t.Fatalf("boot count = %d", m.K.Globals.BootCount)
+	}
+}
