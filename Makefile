@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test vet race verify bench campaign
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the packages with internal concurrency (the campaign runner's
+# worker pool) and the new binary-framing code.
+race:
+	$(GO) test -race ./internal/experiment/... ./internal/trace/...
+
+# verify is the pre-merge gate: build, vet, full tests, targeted race pass.
+verify: build vet test race
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+campaign:
+	$(GO) run ./cmd/owcampaign -n 100

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -36,6 +37,8 @@ func main() {
 	n := flag.Int("n", 60, "faulted experiments per app for tables 5/ablation (paper: 400)")
 	ops := flag.Int("ops", 400, "measured operations per benchmark for table 3")
 	seed := flag.Int64("seed", 20100413, "seed")
+	showTrace := flag.Bool("trace", false, "print table-5 failure attributions from the flight recorder")
+	traceJSON := flag.String("trace-json", "", "write table-5 failure attributions as JSON to this file")
 	flag.Parse()
 
 	if !*all && *table == 0 && !*checkpoint && !*ablation && !*compare && !*scaling {
@@ -80,9 +83,33 @@ func main() {
 		cfg := experiment.DefaultCampaign(*n, *seed)
 		rows := experiment.RunTable5(cfg)
 		fmt.Print(experiment.RenderTable5(rows))
+		for _, w := range experiment.Shortfalls(rows) {
+			fmt.Fprintln(os.Stderr, "owbench: warning: undershoot:", w)
+		}
 		faulted, discarded, structCorrupt := experiment.Totals(rows)
 		fmt.Printf("\ndiscarded no-fault runs: %d (%.0f%%); kernel-structure corruption: %d of %d\n\n",
 			discarded, 100*float64(discarded)/float64(faulted+discarded), structCorrupt, faulted)
+		if *showTrace {
+			fmt.Println("failure attributions (from the crash-surviving flight recorder):")
+			for _, r := range experiment.TopReasons(rows) {
+				fmt.Println(" ", r)
+			}
+			fmt.Println()
+		}
+		if *traceJSON != "" {
+			byApp := make(map[string][]experiment.AttributionCount, len(rows))
+			for _, row := range rows {
+				byApp[row.App] = row.Attributions
+			}
+			data, err := json.MarshalIndent(byApp, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*traceJSON, data, 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Println("failure attributions written to", *traceJSON)
+		}
 	}
 	if run(6) {
 		fmt.Println("== Table 6: service interruption time (seconds)")

@@ -5,10 +5,14 @@
 // Usage:
 //
 //	owcampaign [-n perApp] [-seed n] [-apps csv] [-hardening on|off]
-//	           [-nocrc] [-noprotected] [-workers n]
+//	           [-nocrc] [-noprotected] [-workers n] [-trace] [-trace-json f]
 //
 // The paper ran 400 faulted experiments per application; -n 400 reproduces
 // that (several CPU-minutes). Smaller -n gives a quick estimate.
+//
+// -trace prints the per-application failure attributions recovered from the
+// dead kernels' flight-recorder rings (internal/trace); -trace-json writes
+// them to a file for tooling. A live progress ticker goes to stderr.
 package main
 
 import (
@@ -34,6 +38,9 @@ func main() {
 	noprotected := flag.Bool("noprotected", false, "skip the protected-mode corruption pass")
 	workers := flag.Int("workers", 0, "parallel workers (0 = NumCPU)")
 	jsonOut := flag.String("json", "", "also write the rows as JSON to this file")
+	showTrace := flag.Bool("trace", false, "print per-application failure attributions from the flight recorder")
+	traceJSON := flag.String("trace-json", "", "write the failure attributions as JSON to this file")
+	quiet := flag.Bool("quiet", false, "suppress the live progress ticker")
 	flag.Parse()
 
 	cfg := experiment.DefaultCampaign(*n, *seed)
@@ -53,11 +60,29 @@ func main() {
 		os.Exit(2)
 	}
 
+	if !*quiet {
+		cfg.Progress = func(u experiment.ProgressUpdate) {
+			pass := "unprotected"
+			if u.Protected {
+				pass = "protected"
+			}
+			fmt.Fprintf(os.Stderr, "\r%-12s %-11s %d/%d faulted (%d discarded)   ",
+				u.App, pass, u.Faulted, u.Want, u.Discarded)
+		}
+	}
+
 	fmt.Printf("Fault-injection campaign: %d faulted runs/app, seed %d, hardening %s, CRC %v\n\n",
 		*n, *seed, *hardening, cfg.VerifyCRC)
 	start := time.Now()
 	rows := experiment.RunTable5(cfg)
+	if !*quiet {
+		fmt.Fprint(os.Stderr, "\r\033[K")
+	}
 	fmt.Print(experiment.RenderTable5(rows))
+
+	for _, w := range experiment.Shortfalls(rows) {
+		fmt.Fprintln(os.Stderr, "owcampaign: warning: undershoot:", w)
+	}
 
 	faulted, discarded, structCorrupt := experiment.Totals(rows)
 	fmt.Printf("\n%d faulted experiments; %d injections caused no kernel failure and were discarded (%.0f%%)\n",
@@ -65,10 +90,43 @@ func main() {
 	fmt.Printf("resurrection failures from detected kernel-structure corruption: %d of %d\n",
 		structCorrupt, faulted)
 	if reasons := experiment.TopReasons(rows); len(reasons) > 0 {
-		fmt.Println("\nboot-failure causes:")
+		fmt.Println("\nfailure attributions (all applications):")
 		for _, r := range reasons {
 			fmt.Println(" ", r)
 		}
+	}
+	if *showTrace {
+		fmt.Println("\nper-application failure attributions (from the crash-surviving flight recorder):")
+		any := false
+		for _, row := range rows {
+			if len(row.Attributions) == 0 {
+				continue
+			}
+			any = true
+			fmt.Printf("  %s:\n", row.App)
+			for _, ac := range row.Attributions {
+				fmt.Printf("    %4dx %s\n", ac.Count, ac.Attribution)
+			}
+		}
+		if !any {
+			fmt.Println("  (none — every faulted run succeeded)")
+		}
+	}
+	if *traceJSON != "" {
+		byApp := make(map[string][]experiment.AttributionCount, len(rows))
+		for _, row := range rows {
+			byApp[row.App] = row.Attributions
+		}
+		data, err := json.MarshalIndent(byApp, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "owcampaign: marshal attributions:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*traceJSON, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "owcampaign: write:", err)
+			os.Exit(1)
+		}
+		fmt.Println("failure attributions written to", *traceJSON)
 	}
 	fmt.Printf("\n(wall time %.0fs)\n", time.Since(start).Seconds())
 

@@ -17,6 +17,7 @@ import (
 	"otherworld/internal/phys"
 	"otherworld/internal/resurrect"
 	"otherworld/internal/sim"
+	"otherworld/internal/trace"
 )
 
 // Options configures a machine.
@@ -50,6 +51,11 @@ type Options struct {
 	// exploits the dead kernel's device information instead of a full
 	// probe, shrinking the service interruption.
 	FastCrashBoot bool
+	// TraceEvents sizes the flight-recorder ring (in events) carved out of
+	// the tail of each crash slot; 0 disables tracing. The ring survives
+	// the kernel failure and is re-parsed by the crash kernel, pstore
+	// style (see internal/trace).
+	TraceEvents int
 }
 
 // DefaultOptions returns the paper's experimental configuration: 1 GB VM,
@@ -63,6 +69,7 @@ func DefaultOptions() Options {
 		Hardening:             kernel.FullHardening(),
 		Resurrection:          resurrect.Config{All: true},
 		SwapSlotsPerPartition: 16384, // 64 MB per partition
+		TraceEvents:           512,
 	}
 }
 
@@ -88,6 +95,11 @@ type Machine struct {
 	// protected image.
 	slots     [2]phys.Region
 	imageSlot int
+	// traceFrames is the tail of each slot given to the flight-recorder
+	// ring; the protected image occupies the rest.
+	traceFrames int
+	// tracer is the current main kernel's flight recorder (nil if off).
+	tracer *trace.Ring
 	// swapIdx is the partition the current main kernel swaps to.
 	swapIdx int
 
@@ -133,6 +145,11 @@ type FailureOutcome struct {
 	// running again under the new main kernel (Table 6's third column,
 	// before any service restart costs the workload adds).
 	Interruption time.Duration
+	// Trace is the dead kernel's flight-recorder ring, parsed out of raw
+	// physical memory before any recovery step touched it (nil when
+	// tracing is disabled). It is populated even when the transfer fails,
+	// so post-mortem context survives system-down outcomes too.
+	Trace *trace.Parsed
 }
 
 // NewMachine powers on a machine, cold-boots the main kernel and loads the
@@ -164,6 +181,12 @@ func NewMachine(opts Options) (*Machine, error) {
 	m.slots[0] = phys.Region{Start: total - 2*crashFrames, Frames: crashFrames}
 	m.slots[1] = phys.Region{Start: total - crashFrames, Frames: crashFrames}
 	m.imageSlot = 1
+	// The flight-recorder ring takes the tail of each slot; the protected
+	// image must keep the (much larger) rest.
+	m.traceFrames = trace.FramesFor(opts.TraceEvents)
+	if m.traceFrames > crashFrames/2 {
+		m.traceFrames = crashFrames / 2
+	}
 
 	for _, name := range swapDevNames {
 		m.HW.Bus.Attach(newSwapPartition(name, opts.SwapSlotsPerPartition))
@@ -184,7 +207,56 @@ func NewMachine(opts Options) (*Machine, error) {
 	if err := k.LoadCrashImage(); err != nil {
 		return nil, fmt.Errorf("core: load crash image: %w", err)
 	}
+	m.attachTracer(k)
 	return m, nil
+}
+
+// imageRegion is the write-protected crash-image part of a slot.
+func (m *Machine) imageRegion(slot phys.Region) phys.Region {
+	return phys.Region{Start: slot.Start, Frames: slot.Frames - m.traceFrames}
+}
+
+// ringRegion is the unprotected flight-recorder tail of a slot. The ring
+// must stay writable by the running kernel, so it cannot live under the
+// image's hardware protection — but like the image it sits inside the
+// reservation, above every frame the allocators hand out.
+func (m *Machine) ringRegion(slot phys.Region) phys.Region {
+	if m.traceFrames == 0 {
+		return phys.Region{}
+	}
+	img := m.imageRegion(slot)
+	return phys.Region{Start: img.End(), Frames: m.traceFrames}
+}
+
+// TraceRegion returns the physical region of the active flight-recorder
+// ring (zero region when tracing is off), for tests and tools that want to
+// inspect or corrupt it.
+func (m *Machine) TraceRegion() phys.Region {
+	return m.ringRegion(m.slots[m.imageSlot])
+}
+
+// Tracer returns the current main kernel's flight recorder (nil if off).
+func (m *Machine) Tracer() *trace.Ring { return m.tracer }
+
+// attachTracer gives kernel k a fresh ring over the active slot's tail and
+// stamps the new generation's boot event. Ring frames are tagged
+// FrameReserved so no allocator ever hands them out.
+func (m *Machine) attachTracer(k *kernel.Kernel) {
+	if m.traceFrames == 0 {
+		return
+	}
+	ring := trace.NewRing(m.HW.Mem, m.ringRegion(m.slots[m.imageSlot]))
+	if ring == nil {
+		return
+	}
+	for f := ring.Region().Start; f < ring.Region().End(); f++ {
+		_ = m.HW.Mem.Protect(f, false)
+		_ = m.HW.Mem.SetKind(f, phys.FrameReserved)
+	}
+	ring.Reset()
+	ring.Record(trace.Event{Kind: trace.KindBoot, A: uint64(k.Globals.BootCount)})
+	k.Tracer = ring
+	m.tracer = ring
 }
 
 // kernelParams assembles kernel parameters for the next kernel generation.
@@ -195,7 +267,7 @@ func (m *Machine) kernelParams() kernel.Params {
 		UserSpaceProtection: m.opts.UserSpaceProtection,
 		Hardening:           m.opts.Hardening,
 		SwapDevice:          swapDevNames[m.swapIdx],
-		CrashRegion:         m.slots[m.imageSlot],
+		CrashRegion:         m.imageRegion(m.slots[m.imageSlot]),
 		Seed:                m.opts.Seed*1000003 + m.kernelSeq,
 		Net:                 m.Net,
 		Consoles:            m.Consoles,
@@ -226,6 +298,13 @@ func (m *Machine) HandleFailure() (*FailureOutcome, error) {
 	}
 	started := m.HW.Clock.Now()
 	out := &FailureOutcome{Panic: pe}
+	// Salvage the dead kernel's flight recorder first, before any recovery
+	// step can disturb the bytes; a failed transfer then still leaves
+	// post-mortem context behind.
+	img := m.slots[m.imageSlot]
+	if m.traceFrames > 0 {
+		out.Trace = trace.Parse(m.HW.Mem, m.ringRegion(img))
+	}
 	out.Transfer = m.K.AttemptTransfer()
 	if !out.Transfer.OK {
 		out.Result = ResultSystemDown
@@ -234,9 +313,12 @@ func (m *Machine) HandleFailure() (*FailureOutcome, error) {
 	}
 
 	// The transfer stub removes the hardware protection from the crash
-	// kernel image and jumps to its entry point (Section 3.2).
-	img := m.slots[m.imageSlot]
-	for f := img.Start; f < img.End(); f++ {
+	// kernel image and jumps to its entry point (Section 3.2). Only the
+	// image part of the slot is released: the flight-recorder tail keeps
+	// its FrameReserved tag so nothing recycles the dead kernel's ring
+	// before resurrection has read it.
+	imgPart := m.imageRegion(img)
+	for f := imgPart.Start; f < imgPart.End(); f++ {
 		_ = m.HW.Mem.Protect(f, false)
 		_ = m.HW.Mem.SetKind(f, phys.FrameFree)
 	}
@@ -248,7 +330,7 @@ func (m *Machine) HandleFailure() (*FailureOutcome, error) {
 	params := m.kernelParams()
 	params.FastBoot = m.opts.FastCrashBoot
 	crashK, err := kernel.Boot(m.HW, m.FS, params, kernel.BootOptions{
-		Region:        img,
+		Region:        imgPart,
 		BootCount:     m.K.Globals.BootCount, // morphing increments it
 		IsCrashKernel: true,
 	})
@@ -283,23 +365,32 @@ func (m *Machine) HandleFailure() (*FailureOutcome, error) {
 	engine := resurrect.NewEngine(crashK, kernel.GlobalsAddr, m.opts.VerifyCRC)
 	engine.MapPages = m.opts.MapPagesResurrection
 	engine.ResurrectIPC = m.opts.ResurrectIPC
+	engine.TraceRegion = m.ringRegion(img)
 	out.Report = engine.Run(m.opts.Resurrection)
 
 	// Morph (Section 3.6): reclaim all memory, reserve the other slot,
-	// load a fresh crash image, become the main kernel.
+	// load a fresh crash image, become the main kernel. The new slot is
+	// split like the old one: protected image plus flight-recorder tail.
 	if err := crashK.AdoptAllMemory(); err != nil {
 		return nil, fmt.Errorf("core: morph: %w", err)
 	}
 	m.imageSlot = 1 - m.imageSlot
-	for f := nextSlot.Start; f < nextSlot.End(); f++ {
+	nextImg := m.imageRegion(nextSlot)
+	for f := nextImg.Start; f < nextImg.End(); f++ {
 		if err := crashK.Alloc.Claim(f, phys.FrameCrashImage); err != nil {
 			return nil, fmt.Errorf("core: reserve next crash slot: %w", err)
 		}
 	}
-	crashK.P.CrashRegion = nextSlot
+	for f := nextImg.End(); f < nextSlot.End(); f++ {
+		if err := crashK.Alloc.Claim(f, phys.FrameReserved); err != nil {
+			return nil, fmt.Errorf("core: reserve next trace ring: %w", err)
+		}
+	}
+	crashK.P.CrashRegion = nextImg
 	if err := crashK.LoadCrashImage(); err != nil {
 		return nil, fmt.Errorf("core: load fresh crash image: %w", err)
 	}
+	m.attachTracer(crashK)
 
 	// Sockets died with the main kernel: drop undelivered inbound data.
 	m.Net.FlushInbound()
@@ -335,7 +426,11 @@ func (m *Machine) ColdReboot() error {
 	m.K = k
 	m.HW.Clock.Advance(m.cost.InitScripts)
 	m.Net.FlushInbound()
-	return k.LoadCrashImage()
+	if err := k.LoadCrashImage(); err != nil {
+		return err
+	}
+	m.attachTracer(k)
+	return nil
 }
 
 // Cost exposes the virtual-time model for experiment harnesses.

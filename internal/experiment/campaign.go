@@ -33,8 +33,16 @@ type Table5Row struct {
 	// StructCorrupt counts resurrection failures caused by detected
 	// main-kernel record corruption (the "3 of 2000" statistic).
 	StructCorrupt int
-	// Reasons tallies boot-failure transfer reasons for diagnostics.
-	Reasons map[string]int
+	// Shortfall is how many faulted experiments short of the requested
+	// count the unprotected pass came (0 when the attempt budget
+	// sufficed); the fractions above are then over fewer runs than asked.
+	Shortfall int
+	// ProtShortfall is the protected pass's shortfall.
+	ProtShortfall int
+	// Attributions tallies every non-success failure mode, aggregated by
+	// structured attribution (stage, resurrection phase, panic kind,
+	// normalized reason) and sorted most-frequent first.
+	Attributions []AttributionCount
 }
 
 // CampaignConfig parameterizes a Table 5 campaign.
@@ -57,6 +65,24 @@ type CampaignConfig struct {
 	SkipProtected bool
 	// MemoryMB sizes experiment machines.
 	MemoryMB int
+	// Progress, when set, is called after every finished experiment (from
+	// the collecting goroutine's lock, so it must be quick) — the live
+	// campaign ticker in cmd/owcampaign.
+	Progress func(ProgressUpdate)
+
+	// runExperiment substitutes the single-experiment runner in tests;
+	// nil means Run.
+	runExperiment func(Config) Result
+}
+
+// ProgressUpdate is one live campaign progress tick.
+type ProgressUpdate struct {
+	App string
+	// Protected says which pass is running.
+	Protected bool
+	// Faulted / Want is the pass's progress; Discarded counts no-fault
+	// runs thrown away so far; Attempted counts all finished runs.
+	Faulted, Want, Discarded, Attempted int
 }
 
 // DefaultCampaign returns the paper's campaign shape scaled by perApp.
@@ -76,7 +102,34 @@ type tally struct {
 	n, discarded                      int
 	success, boot, resurrect, corrupt int
 	structCorrupt                     int
-	reasons                           map[string]int
+	attribs                           map[Attribution]int
+}
+
+// sortedAttributions flattens the tally's attribution map into a
+// deterministic slice: most frequent first, ties broken lexicographically.
+func (t *tally) sortedAttributions() []AttributionCount {
+	out := make([]AttributionCount, 0, len(t.attribs))
+	for a, n := range t.attribs {
+		out = append(out, AttributionCount{Attribution: a, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Attribution.String() < out[j].Attribution.String()
+	})
+	return out
+}
+
+// passSeedSalt gives each (application, pass) combination its own seed
+// space. The salt occupies the high bits: a pass scans at most
+// 3*PerApp seeds spaced 7919 apart, so passes stay provably disjoint as
+// long as that span is below 2^44 (PerApp under ~700 billion — any
+// realistic campaign). The old additive salts (i*1_000_000, +500_000) were
+// smaller than a pass's span and made passes overlap, silently correlating
+// the protected and unprotected campaigns.
+func passSeedSalt(appIdx, pass, passCount int) int64 {
+	return (int64(appIdx)*int64(passCount) + int64(pass) + 1) << 44
 }
 
 // runCampaignPass collects `want` faulted experiments for one app.
@@ -92,11 +145,16 @@ func runCampaignPass(cfg CampaignConfig, app string, protection bool, want int, 
 		workers = 1
 	}
 
-	t := tally{reasons: make(map[string]int)}
+	t := tally{attribs: make(map[Attribution]int)}
+	runOne := cfg.runExperiment
+	if runOne == nil {
+		runOne = Run
+	}
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	// Generous attempt budget: ~20% of runs are expected to be no-fault.
 	attempts := want * 3
+	attempted := 0
 	work := make(chan int64, attempts)
 	for i := 0; i < attempts; i++ {
 		work <- cfg.Seed + seedSalt + int64(i)*7919
@@ -122,11 +180,13 @@ func runCampaignPass(cfg CampaignConfig, app string, protection bool, want int, 
 				if cfg.MemoryMB > 0 {
 					ecfg.MemoryMB = cfg.MemoryMB
 				}
-				res := Run(ecfg)
+				res := runOne(ecfg)
 
 				mu.Lock()
+				attempted++
 				if res.Outcome == OutcomeNoKernelFault {
 					t.discarded++
+					notifyProgress(cfg, app, protection, &t, want, attempted)
 					mu.Unlock()
 					continue
 				}
@@ -140,7 +200,6 @@ func runCampaignPass(cfg CampaignConfig, app string, protection bool, want int, 
 					t.success++
 				case OutcomeBootFailure:
 					t.boot++
-					t.reasons[res.TransferReason]++
 				case OutcomeResurrectFailure:
 					t.resurrect++
 					if res.StructCorruption {
@@ -149,12 +208,31 @@ func runCampaignPass(cfg CampaignConfig, app string, protection bool, want int, 
 				case OutcomeDataCorruption:
 					t.corrupt++
 				}
+				if res.Outcome != OutcomeSuccess && res.Detail != nil {
+					t.attribs[res.Detail.Attribution]++
+				}
+				notifyProgress(cfg, app, protection, &t, want, attempted)
 				mu.Unlock()
 			}
 		}()
 	}
 	wg.Wait()
 	return t
+}
+
+// notifyProgress fires the live-progress callback; the tally mutex is held.
+func notifyProgress(cfg CampaignConfig, app string, protection bool, t *tally, want, attempted int) {
+	if cfg.Progress == nil {
+		return
+	}
+	cfg.Progress(ProgressUpdate{
+		App:       app,
+		Protected: protection,
+		Faulted:   t.n,
+		Want:      want,
+		Discarded: t.discarded,
+		Attempted: attempted,
+	})
 }
 
 // RunTable5 runs the full Table 5 campaign: an unprotected pass providing
@@ -165,14 +243,18 @@ func RunTable5(cfg CampaignConfig) []Table5Row {
 		cfg.Apps = AppNames
 	}
 	rows := make([]Table5Row, 0, len(cfg.Apps))
+	const passCount = 2 // unprotected + protected
 	for i, app := range cfg.Apps {
-		base := runCampaignPass(cfg, app, false, cfg.PerApp, int64(i)*1_000_000)
+		base := runCampaignPass(cfg, app, false, cfg.PerApp, passSeedSalt(i, 0, passCount))
 		row := Table5Row{
 			App:           app,
 			N:             base.n,
 			Discarded:     base.discarded,
 			StructCorrupt: base.structCorrupt,
-			Reasons:       base.reasons,
+			Attributions:  base.sortedAttributions(),
+		}
+		if base.n < cfg.PerApp {
+			row.Shortfall = cfg.PerApp - base.n
 		}
 		if base.n > 0 {
 			row.Success = float64(base.success) / float64(base.n)
@@ -181,8 +263,11 @@ func RunTable5(cfg CampaignConfig) []Table5Row {
 			row.CorruptNoProt = float64(base.corrupt) / float64(base.n)
 		}
 		if !cfg.SkipProtected {
-			prot := runCampaignPass(cfg, app, true, cfg.PerApp, int64(i)*1_000_000+500_000)
+			prot := runCampaignPass(cfg, app, true, cfg.PerApp, passSeedSalt(i, 1, passCount))
 			row.ProtN = prot.n
+			if prot.n < cfg.PerApp {
+				row.ProtShortfall = cfg.PerApp - prot.n
+			}
 			if prot.n > 0 {
 				row.CorruptProt = float64(prot.corrupt) / float64(prot.n)
 			}
@@ -218,18 +303,52 @@ func Totals(rows []Table5Row) (faulted, discarded, structCorrupt int) {
 	return faulted, discarded, structCorrupt
 }
 
-// TopReasons returns boot-failure reasons sorted by frequency.
+// TopReasons returns the campaign's failure attributions sorted by
+// frequency: numerically by count (descending), ties broken by the
+// attribution text. (Sorting the *formatted* strings, as this used to do,
+// ordered "  999x" above "10000x" and left ties in arbitrary map order.)
 func TopReasons(rows []Table5Row) []string {
-	counts := make(map[string]int)
+	counts := make(map[Attribution]int)
 	for _, r := range rows {
-		for reason, n := range r.Reasons {
-			counts[reason] += n
+		for _, ac := range r.Attributions {
+			counts[ac.Attribution] += ac.Count
 		}
 	}
-	out := make([]string, 0, len(counts))
-	for reason, n := range counts {
-		out = append(out, fmt.Sprintf("%4dx %s", n, reason))
+	type entry struct {
+		a Attribution
+		n int
 	}
-	sort.Sort(sort.Reverse(sort.StringSlice(out)))
+	entries := make([]entry, 0, len(counts))
+	for a, n := range counts {
+		entries = append(entries, entry{a, n})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].n != entries[j].n {
+			return entries[i].n > entries[j].n
+		}
+		return entries[i].a.String() < entries[j].a.String()
+	})
+	out := make([]string, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, fmt.Sprintf("%4dx %s", e.n, e.a))
+	}
+	return out
+}
+
+// Shortfalls reports every row that collected fewer faulted experiments
+// than requested, for the harness to warn about: an undershoot used to be
+// silently absorbed into smaller-N fractions.
+func Shortfalls(rows []Table5Row) []string {
+	var out []string
+	for _, r := range rows {
+		if r.Shortfall > 0 {
+			out = append(out, fmt.Sprintf("%s: %d of %d faulted experiments (unprotected pass %d short; attempt budget exhausted)",
+				r.App, r.N, r.N+r.Shortfall, r.Shortfall))
+		}
+		if r.ProtShortfall > 0 {
+			out = append(out, fmt.Sprintf("%s: %d of %d faulted experiments (protected pass %d short; attempt budget exhausted)",
+				r.App, r.ProtN, r.ProtN+r.ProtShortfall, r.ProtShortfall))
+		}
+	}
 	return out
 }

@@ -1,0 +1,218 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestPassSeedSpacesDisjoint proves the campaign's seed-space claim: the
+// ranges scanned by every (application, pass) combination must not overlap.
+// The old additive salts (i*1_000_000 for the app, +500_000 for the
+// protected pass) were smaller than a pass's seed span (3*PerApp*7919), so
+// with PerApp >= ~22 the protected pass replayed the unprotected pass's
+// seeds — correlated campaigns pretending to be independent.
+func TestPassSeedSpacesDisjoint(t *testing.T) {
+	const apps = 5
+	const passes = 2
+	for _, perApp := range []int{100, 400, 100_000, 10_000_000} {
+		span := int64(3*perApp) * 7919
+		type rng struct {
+			lo, hi int64
+			name   string
+		}
+		var ranges []rng
+		for app := 0; app < apps; app++ {
+			for pass := 0; pass < passes; pass++ {
+				salt := passSeedSalt(app, pass, passes)
+				ranges = append(ranges, rng{salt, salt + span,
+					fmt.Sprintf("app%d/pass%d", app, pass)})
+			}
+		}
+		for i := range ranges {
+			for j := i + 1; j < len(ranges); j++ {
+				a, b := ranges[i], ranges[j]
+				if a.lo < b.hi && b.lo < a.hi {
+					t.Errorf("perApp=%d: %s [%d,%d) overlaps %s [%d,%d)",
+						perApp, a.name, a.lo, a.hi, b.name, b.lo, b.hi)
+				}
+			}
+		}
+	}
+}
+
+// TestCampaignSeedsDisjoint checks disjointness end to end: a stubbed
+// campaign records every seed each pass actually runs, and no seed may
+// appear in two passes.
+func TestCampaignSeedsDisjoint(t *testing.T) {
+	var mu sync.Mutex
+	seen := make(map[int64]string) // seed -> pass that used it
+	cfg := DefaultCampaign(5, 12345)
+	cfg.Apps = []string{"vi", "JOE"}
+	cfg.Workers = 2
+	cfg.runExperiment = func(ecfg Config) Result {
+		pass := fmt.Sprintf("%s/prot=%v", ecfg.App, ecfg.Protection)
+		mu.Lock()
+		if prev, dup := seen[ecfg.Seed]; dup && prev != pass {
+			t.Errorf("seed %d used by both %s and %s", ecfg.Seed, prev, pass)
+		}
+		seen[ecfg.Seed] = pass
+		mu.Unlock()
+		return Result{Outcome: OutcomeSuccess}
+	}
+	rows := RunTable5(cfg)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.N != 5 || r.ProtN != 5 {
+			t.Fatalf("%s: N=%d ProtN=%d, want 5/5", r.App, r.N, r.ProtN)
+		}
+	}
+	if len(seen) == 0 {
+		t.Fatal("stub never ran")
+	}
+}
+
+// TestCampaignUndershootReported stubs a campaign whose injections never
+// manifest: the pass exhausts its want*3 attempt budget with n < want, and
+// that shortfall must be recorded on the row instead of silently shrinking
+// the denominators.
+func TestCampaignUndershootReported(t *testing.T) {
+	calls := 0
+	var mu sync.Mutex
+	cfg := DefaultCampaign(4, 99)
+	cfg.Apps = []string{"vi"}
+	cfg.Workers = 1
+	cfg.runExperiment = func(ecfg Config) Result {
+		mu.Lock()
+		calls++
+		n := calls
+		mu.Unlock()
+		if n%2 == 1 {
+			// Half the attempts manifest a fault...
+			return Result{Outcome: OutcomeSuccess}
+		}
+		// ...the other half are discarded no-fault runs.
+		return Result{Outcome: OutcomeNoKernelFault}
+	}
+	rows := RunTable5(cfg)
+	r := rows[0]
+	// 12 attempts, 6 faulted: want=4 is met by the unprotected pass, so
+	// no shortfall there.
+	if r.Shortfall != 0 {
+		t.Fatalf("unexpected unprotected shortfall %d (N=%d)", r.Shortfall, r.N)
+	}
+
+	// Now a campaign where nothing ever manifests.
+	cfg.runExperiment = func(Config) Result {
+		return Result{Outcome: OutcomeNoKernelFault,
+			Detail: newDetail(StageNoFault, "", "injected faults never manifested", nil, nil)}
+	}
+	rows = RunTable5(cfg)
+	r = rows[0]
+	if r.N != 0 {
+		t.Fatalf("N = %d, want 0", r.N)
+	}
+	if r.Shortfall != 4 || r.ProtShortfall != 4 {
+		t.Fatalf("Shortfall = %d/%d, want 4/4", r.Shortfall, r.ProtShortfall)
+	}
+	warns := Shortfalls(rows)
+	if len(warns) != 2 {
+		t.Fatalf("Shortfalls = %v, want one warning per pass", warns)
+	}
+	if !strings.Contains(warns[0], "vi") || !strings.Contains(warns[0], "attempt budget") {
+		t.Fatalf("warning lacks context: %q", warns[0])
+	}
+}
+
+// TestTopReasonsNumericOrder reproduces the lexicographic-sort bug: with a
+// 10000-count reason and a 9999-count reason, string sorting put " 9999x"
+// above "10000x". The fixed sort is numeric, with deterministic tiebreak.
+func TestTopReasonsNumericOrder(t *testing.T) {
+	mk := func(reason string, n int) AttributionCount {
+		return AttributionCount{
+			Attribution: Attribution{Stage: StageTransfer, Reason: reason},
+			Count:       n,
+		}
+	}
+	rows := []Table5Row{{
+		App: "vi",
+		Attributions: []AttributionCount{
+			mk("rare", 3),
+			mk("common", 10000),
+			mk("frequent", 9999),
+			mk("tie-b", 7),
+			mk("tie-a", 7),
+		},
+	}}
+	got := TopReasons(rows)
+	if len(got) != 5 {
+		t.Fatalf("got %d reasons, want 5", len(got))
+	}
+	wantOrder := []string{"common", "frequent", "tie-a", "tie-b", "rare"}
+	for i, w := range wantOrder {
+		if !strings.Contains(got[i], w) {
+			t.Fatalf("position %d = %q, want reason %q (full: %v)", i, got[i], w, got)
+		}
+	}
+	if !strings.HasPrefix(strings.TrimSpace(got[0]), "10000x") {
+		t.Fatalf("top reason = %q, want the 10000-count one first", got[0])
+	}
+}
+
+// TestCampaignAttributionAggregation checks that stubbed failures aggregate
+// by structured attribution, sorted most-frequent first.
+func TestCampaignAttributionAggregation(t *testing.T) {
+	calls := 0
+	var mu sync.Mutex
+	cfg := DefaultCampaign(6, 7)
+	cfg.Apps = []string{"vi"}
+	cfg.Workers = 1
+	cfg.SkipProtected = true
+	cfg.runExperiment = func(Config) Result {
+		mu.Lock()
+		calls++
+		n := calls
+		mu.Unlock()
+		if n%3 == 0 {
+			return Result{Outcome: OutcomeBootFailure,
+				Detail: newDetail(StageTransfer, "", "no watchdog", nil, nil)}
+		}
+		return Result{Outcome: OutcomeResurrectFailure,
+			Detail: newDetail(StageResurrect, "page-copy", "bad frame 0x1a2b", nil, nil)}
+	}
+	rows := RunTable5(cfg)
+	r := rows[0]
+	if len(r.Attributions) != 2 {
+		t.Fatalf("attributions = %+v, want 2 modes", r.Attributions)
+	}
+	top := r.Attributions[0]
+	if top.Stage != StageResurrect || top.Phase != "page-copy" {
+		t.Fatalf("top attribution = %+v, want the resurrect/page-copy mode", top)
+	}
+	if top.Count <= r.Attributions[1].Count {
+		t.Fatalf("attributions not sorted by count: %+v", r.Attributions)
+	}
+	// The hex address must have been normalized away so repeats aggregate.
+	if strings.Contains(top.Reason, "0x1a2b") {
+		t.Fatalf("reason not normalized: %q", top.Reason)
+	}
+}
+
+// TestWarmupOpsNonNegativeSeed pins the negative-seed fix: Go's % keeps the
+// dividend's sign, so 40 + int(seed%97) used to drop below the 40-op floor
+// (to -56 at worst) for negative seeds.
+func TestWarmupOpsNonNegativeSeed(t *testing.T) {
+	for _, seed := range []int64{0, 1, 96, 97, -1, -96, -97, -1 << 62} {
+		got := warmupOps(seed)
+		if got < 40 || got > 136 {
+			t.Errorf("warmupOps(%d) = %d, want within [40,136]", seed, got)
+		}
+	}
+	// Congruent seeds must warm up identically regardless of sign wrap.
+	if warmupOps(-97) != warmupOps(0) || warmupOps(-1) != warmupOps(96) {
+		t.Error("warmupOps not congruent mod 97 across signs")
+	}
+}

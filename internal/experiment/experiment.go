@@ -14,6 +14,7 @@ import (
 	"otherworld/internal/kernel"
 	"otherworld/internal/layout"
 	"otherworld/internal/resurrect"
+	"otherworld/internal/trace"
 	"otherworld/internal/workload"
 )
 
@@ -129,6 +130,14 @@ type Result struct {
 	StructCorruption bool
 	// AckedOps is the workload progress across the whole experiment.
 	AckedOps int
+	// Detail is the structured failure attribution, set for every
+	// non-success outcome: which pipeline stage failed, the resurrection
+	// phase reached, and the panic context salvaged from the dead
+	// kernel's flight recorder.
+	Detail *FailureDetail
+	// Trace is the dead kernel's recovered flight-recorder ring (nil
+	// when tracing is disabled or no ring was recovered).
+	Trace *trace.Parsed
 }
 
 // Run executes one complete fault-injection experiment: boot, warm up the
@@ -157,24 +166,28 @@ func Run(cfg Config) Result {
 
 	m, err := core.NewMachine(opts)
 	if err != nil {
-		return Result{Outcome: OutcomeResurrectFailure, ResurrectErr: err}
+		return Result{Outcome: OutcomeResurrectFailure, ResurrectErr: err,
+			Detail: newDetail(StageSetup, "", err.Error(), nil, nil)}
 	}
 	d, err := DriverFor(cfg.App, cfg.Seed+7777)
 	if err != nil {
-		return Result{Outcome: OutcomeResurrectFailure, ResurrectErr: err}
+		return Result{Outcome: OutcomeResurrectFailure, ResurrectErr: err,
+			Detail: newDetail(StageSetup, "", err.Error(), nil, nil)}
 	}
 	if err := d.Start(m); err != nil {
-		return Result{Outcome: OutcomeResurrectFailure, ResurrectErr: err}
+		return Result{Outcome: OutcomeResurrectFailure, ResurrectErr: err,
+			Detail: newDetail(StageSetup, "", err.Error(), nil, nil)}
 	}
 
 	// Warm up for a seed-dependent amount of work ("we injected faults
 	// after a random amount of time").
-	warm := 40 + int(cfg.Seed%97)
+	warm := warmupOps(cfg.Seed)
 	workload.RunUntilIdle(m, d, warm, warm*40)
 
 	inj := faultinject.New(cfg.Seed ^ 0x5EEDFA17)
 	if _, err := inj.InjectBurst(m.K, cfg.FaultsPerRun); err != nil {
-		return Result{Outcome: OutcomeResurrectFailure, ResurrectErr: err}
+		return Result{Outcome: OutcomeResurrectFailure, ResurrectErr: err,
+			Detail: newDetail(StageSetup, "", err.Error(), nil, nil)}
 	}
 
 	// Run until a failure manifests; several pump rounds bound the run.
@@ -186,19 +199,30 @@ func Run(cfg Config) Result {
 		}
 	}
 	if res.Panic == nil {
-		return Result{Outcome: OutcomeNoKernelFault, AckedOps: d.Acked()}
+		// Discarded run; the live ring still shows what was injected.
+		var tr *trace.Parsed
+		if reg := m.TraceRegion(); reg.Frames > 0 {
+			tr = trace.Parse(m.HW.Mem, reg)
+		}
+		return Result{Outcome: OutcomeNoKernelFault, AckedOps: d.Acked(), Trace: tr,
+			Detail: newDetail(StageNoFault, "", "injected faults never manifested", tr, nil)}
 	}
 	out := Result{Panic: res.Panic}
 
 	fo, err := m.HandleFailure()
+	if fo != nil {
+		out.Trace = fo.Trace
+	}
 	if err != nil {
 		out.Outcome = OutcomeBootFailure
 		out.TransferReason = err.Error()
+		out.Detail = newDetail(StageTransfer, "", err.Error(), out.Trace, res.Panic)
 		return out
 	}
 	if fo.Result != core.ResultRecovered {
 		out.Outcome = OutcomeBootFailure
 		out.TransferReason = fo.Transfer.Reason
+		out.Detail = newDetail(StageTransfer, "", fo.Transfer.Reason, out.Trace, res.Panic)
 		return out
 	}
 
@@ -215,11 +239,17 @@ func Run(cfg Config) Result {
 				// application state damaged — detected data corruption.
 				out.Outcome = OutcomeDataCorruption
 				out.VerifyErr = fmt.Errorf("crash procedure found state corrupted and gave up")
+				out.Detail = newDetail(StageVerify, failedPhase(pr), out.VerifyErr.Error(), out.Trace, res.Panic)
 				return out
 			}
 			out.Outcome = OutcomeResurrectFailure
 			out.ResurrectErr = pr.Err
 			out.StructCorruption = pr.Err != nil && layout.IsCorruption(pr.Err)
+			reason := "resurrection failed"
+			if pr.Err != nil {
+				reason = pr.Err.Error()
+			}
+			out.Detail = newDetail(StageResurrect, failedPhase(pr), reason, out.Trace, res.Panic)
 			return out
 		}
 	}
@@ -227,12 +257,15 @@ func Run(cfg Config) Result {
 		out.Outcome = OutcomeResurrectFailure
 		out.ResurrectErr = fmt.Errorf("process not found in dead kernel's process list")
 		out.StructCorruption = true
+		out.Detail = newDetail(StageResurrect, resurrect.PhaseParse.String(),
+			out.ResurrectErr.Error(), out.Trace, res.Panic)
 		return out
 	}
 
 	if err := d.Reattach(m); err != nil {
 		out.Outcome = OutcomeResurrectFailure
 		out.ResurrectErr = err
+		out.Detail = newDetail(StageWorkload, "", err.Error(), out.Trace, res.Panic)
 		return out
 	}
 	post := workload.RunUntilIdle(m, d, 60, 2400)
@@ -241,14 +274,27 @@ func Run(cfg Config) Result {
 		// a resurrection failure (should be vanishingly rare).
 		out.Outcome = OutcomeResurrectFailure
 		out.ResurrectErr = post.Panic
+		out.Detail = newDetail(StageWorkload, "", post.Panic.Error(), out.Trace, res.Panic)
 		return out
 	}
 	out.AckedOps = d.Acked()
 	if err := d.Verify(m); err != nil {
 		out.Outcome = OutcomeDataCorruption
 		out.VerifyErr = err
+		out.Detail = newDetail(StageVerify, "", err.Error(), out.Trace, res.Panic)
 		return out
 	}
 	out.Outcome = OutcomeSuccess
 	return out
+}
+
+// warmupOps derives the seed-dependent warm-up length. The modulus is
+// clamped non-negative: Go's % keeps the dividend's sign, so a negative
+// seed would otherwise shrink the warm-up below its floor (and below zero).
+func warmupOps(seed int64) int {
+	off := seed % 97
+	if off < 0 {
+		off += 97
+	}
+	return 40 + int(off)
 }

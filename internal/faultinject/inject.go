@@ -19,6 +19,7 @@ import (
 	"otherworld/internal/kernel"
 	"otherworld/internal/phys"
 	"otherworld/internal/sim"
+	"otherworld/internal/trace"
 )
 
 // Class is the kind of a single injected fault.
@@ -74,14 +75,30 @@ func New(seed int64) *Injector {
 // there.
 func (in *Injector) InjectOne(k *kernel.Kernel) (Fault, error) {
 	roll := in.rng.Float64()
+	var (
+		f   Fault
+		err error
+	)
 	switch {
 	case roll < 0.5:
-		return in.injectStack(k)
+		f, err = in.injectStack(k)
 	case roll < 0.8:
-		return in.injectText(k, ClassTextInstr)
+		f, err = in.injectText(k, ClassTextInstr)
 	default:
-		return in.injectText(k, ClassTextOperand)
+		f, err = in.injectText(k, ClassTextOperand)
 	}
+	if err == nil {
+		// Leave a breadcrumb in the flight recorder so post-mortem
+		// analysis can correlate manifestations with injection sites.
+		k.Tracer.Record(trace.Event{
+			Kind: trace.KindFaultInject,
+			PID:  f.PID,
+			A:    uint64(f.Class),
+			B:    f.Addr,
+			Note: f.Class.String(),
+		})
+	}
+	return f, err
 }
 
 // InjectBurst applies n faults (the paper injects 30 at a time).

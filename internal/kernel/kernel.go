@@ -22,6 +22,7 @@ import (
 	"otherworld/internal/layout"
 	"otherworld/internal/phys"
 	"otherworld/internal/sim"
+	"otherworld/internal/trace"
 )
 
 // GlobalsFrame is the fixed physical frame of the kernel globals anchor.
@@ -150,6 +151,12 @@ type Kernel struct {
 
 	// isCrashKernel is true from crash-kernel boot until the morph.
 	isCrashKernel bool
+
+	// Tracer is the crash-surviving flight recorder: a ring of binary
+	// events in an unprotected sub-region of the crash reservation that
+	// the crash kernel parses after a failure (package trace). It is
+	// attached by core after boot; nil (tracing off) is always safe.
+	Tracer *trace.Ring
 
 	// resurrectionLog collects one-line events for the narrated demo.
 	Log []string
@@ -336,4 +343,40 @@ func (k *Kernel) Panicked() *PanicEvent { return k.panicState }
 // logf appends a narrated event line.
 func (k *Kernel) logf(format string, args ...any) {
 	k.Log = append(k.Log, fmt.Sprintf(format, args...))
+}
+
+// traceCounters snapshots the syscall/pagefault counters into the flight
+// recorder; the ring's newest snapshot tells the crash kernel how much work
+// the dead kernel had done.
+func (k *Kernel) traceCounters() {
+	k.Tracer.Record(trace.Event{
+		Kind: trace.KindCounters,
+		A:    k.Perf.Syscalls,
+		B:    trace.PackCounters(k.Perf.PageFaults, k.Perf.SwapIns),
+	})
+}
+
+// tracePanic writes the failure context into the flight recorder: panic
+// kind and reason, the failing CPU, and the PID/PC/syscall of the thread it
+// was executing. This is the last event the main kernel ever records — the
+// crash kernel reads it back out of raw memory after the microreboot.
+func (k *Kernel) tracePanic() {
+	if k.Tracer == nil || k.panicState == nil {
+		return
+	}
+	ev := trace.Event{
+		Kind: trace.KindPanic,
+		CPU:  uint8(k.panicState.CPU),
+		Note: k.panicState.Reason,
+	}
+	if p := k.currentProcess(); p != nil {
+		ev.PID = p.PID
+		ev.PC = p.Ctx.PC
+		ev.A, ev.B = trace.PackPanic(uint8(k.panicState.Kind), uint8(k.panicState.Oops),
+			p.Ctx.InSyscall, p.Ctx.SyscallNo)
+	} else {
+		ev.A, ev.B = trace.PackPanic(uint8(k.panicState.Kind), uint8(k.panicState.Oops), false, 0)
+	}
+	k.traceCounters()
+	k.Tracer.Record(ev)
 }

@@ -7,6 +7,7 @@ import (
 	"otherworld/internal/hw"
 	"otherworld/internal/layout"
 	"otherworld/internal/phys"
+	"otherworld/internal/trace"
 )
 
 // PanicKind classifies a kernel failure.
@@ -82,6 +83,7 @@ func (k *Kernel) oopsf(kind OopsKind, format string, args ...any) error {
 			CPU:    0,
 		}
 		k.logf("PANIC: %s", k.panicState.Reason)
+		k.tracePanic()
 	}
 	return k.panicState
 }
@@ -91,6 +93,7 @@ func (k *Kernel) raise(kind PanicKind, reason string) error {
 	if k.panicState == nil {
 		k.panicState = &PanicEvent{Kind: kind, Reason: reason, CPU: 0}
 		k.logf("PANIC (%s): %s", kind, reason)
+		k.tracePanic()
 	}
 	return k.panicState
 }
@@ -117,6 +120,13 @@ func (k *Kernel) executeKernelFunc(fn FuncID, p *Process) Misbehavior {
 
 // manifest converts a misbehaviour into the corresponding kernel failure.
 func (k *Kernel) manifest(behave Misbehavior, where string) error {
+	if behave != BehaveBenign {
+		k.Tracer.Record(trace.Event{
+			Kind: trace.KindFaultManifest,
+			A:    uint64(behave),
+			Note: where,
+		})
+	}
 	switch behave {
 	case BehaveFailStop:
 		return k.oopsf(OopsExplicit, "invalid opcode in %s path", where)

@@ -29,6 +29,9 @@ type PerfCounters struct {
 	PTSwitches uint64
 	// Steps counts program steps executed.
 	Steps uint64
+	// PageFaults counts non-resident page touches (demand fills and
+	// swap-ins both start as faults).
+	PageFaults uint64
 	// SwapIns and SwapOuts count demand-paging traffic.
 	SwapIns  uint64
 	SwapOuts uint64

@@ -1,6 +1,16 @@
 package kernel
 
-import "errors"
+import (
+	"errors"
+
+	"otherworld/internal/trace"
+)
+
+// schedTraceInterval is the scheduler-decision sampling period: every Nth
+// quantum lands one KindSched event in the flight recorder. Sampling keeps
+// the ring from being pure scheduler noise while still preserving the last
+// few hundred quanta of context at panic time.
+const schedTraceInterval = 8
 
 // StepProcess runs one quantum of a process on CPU 0, with the next
 // runnable process notionally executing on CPU 1 (the paper's test machine
@@ -21,6 +31,11 @@ func (k *Kernel) StepProcess(p *Process) error {
 		return k.manifest(behave, "scheduler")
 	}
 	k.Perf.Steps++
+	// Sample scheduler decisions into the flight recorder; the ring keeps
+	// the most recent ones, which is what panic diagnosis wants.
+	if k.Tracer != nil && k.Perf.Steps%schedTraceInterval == 0 {
+		k.Tracer.Record(trace.Event{Kind: trace.KindSched, PID: p.PID, PC: p.Ctx.PC, A: k.Perf.Steps})
+	}
 	env := &Env{K: k, P: p}
 	err := p.Prog.Step(env)
 	if err == nil && !p.Exited {

@@ -4,6 +4,10 @@ import (
 	"otherworld/internal/layout"
 )
 
+// counterTraceInterval is the syscall-counter snapshot period for the
+// flight recorder.
+const counterTraceInterval = 64
+
 // System call numbers, recorded in the saved context so resurrection can
 // report which call was aborted.
 const (
@@ -47,6 +51,11 @@ func (k *Kernel) syscall(p *Process, no uint16, fn FuncID, body func() error) er
 
 	k.Perf.Syscalls++
 	k.Perf.Cycles += SyscallBaseCycles
+	// Periodic counter snapshots give the post-mortem ring a progress
+	// baseline even when the panic path itself could not run.
+	if k.Tracer != nil && k.Perf.Syscalls%counterTraceInterval == 0 {
+		k.traceCounters()
+	}
 	if k.P.UserSpaceProtection {
 		// Switch to the kernel-only page-table set: the TLB entries for
 		// user pages are gone until the switch back.

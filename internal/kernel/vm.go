@@ -154,6 +154,7 @@ func (k *Kernel) touchPage(p *Process, va uint64, write bool) (int, error) {
 		return frame, nil
 
 	case pte.Swapped():
+		k.Perf.PageFaults++
 		if behave := k.executeKernelFunc(FuncSwap, p); behave != BehaveBenign {
 			return 0, k.manifest(behave, "swap-in")
 		}
@@ -184,6 +185,7 @@ func (k *Kernel) touchPage(p *Process, va uint64, write bool) (int, error) {
 
 	default:
 		// Never-touched page: demand fill.
+		k.Perf.PageFaults++
 		if behave := k.executeKernelFunc(FuncPageFault, p); behave != BehaveBenign {
 			return 0, k.manifest(behave, "page-fault")
 		}

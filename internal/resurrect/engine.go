@@ -19,6 +19,7 @@ import (
 	"otherworld/internal/kernel"
 	"otherworld/internal/layout"
 	"otherworld/internal/phys"
+	"otherworld/internal/trace"
 )
 
 // Category labels for byte accounting.
@@ -36,6 +37,10 @@ const (
 	CatContext   = "context"
 	CatUserData  = "userdata"
 	CatSwapData  = "swapdata"
+	// CatTrace counts the dead kernel's flight-recorder ring. It is
+	// deliberately not a kernelDataCats member: Table 4 measures the data
+	// needed to rebuild processes, and the ring is diagnostic only.
+	CatTrace = "trace"
 )
 
 // kernelDataCats are the categories Table 4 counts as main-kernel data (it
@@ -48,6 +53,15 @@ var kernelDataCats = []string{
 // Accounting tallies bytes read from the dead kernel's memory.
 type Accounting struct {
 	ByCategory map[string]int64
+}
+
+// total sums bytes read across every category.
+func (a *Accounting) total() int64 {
+	var n int64
+	for _, v := range a.ByCategory {
+		n += v
+	}
+	return n
 }
 
 // KernelDataBytes returns the Table 4 numerator: main-kernel data read.
@@ -177,6 +191,9 @@ type ProcReport struct {
 	PagesRestaged int
 	// DirtyFlushed counts dirty page-cache pages written to disk.
 	DirtyFlushed int
+	// Timeline records the phases this resurrection went through, with
+	// per-phase byte/page counters and the failure (if any) in place.
+	Timeline Timeline
 }
 
 // Report is the whole resurrection pass.
@@ -186,6 +203,9 @@ type Report struct {
 	Acct       Accounting
 	// Duration is the virtual time the resurrection pass consumed.
 	Duration time.Duration
+	// Trace is the dead kernel's flight recorder, parsed out of the crash
+	// area's ring sub-region (nil when the engine was given no ring).
+	Trace *trace.Parsed
 }
 
 // Succeeded counts processes that continued or restarted.
@@ -218,6 +238,10 @@ type Engine struct {
 	// restored instead of reported as missing. The paper's prototype did
 	// not do this; it is off by default.
 	ResurrectIPC bool
+	// TraceRegion is the dead kernel's flight-recorder ring (zero region
+	// when tracing is off); Run parses it into Report.Trace through the
+	// counting reader.
+	TraceRegion phys.Region
 
 	rd   reader
 	acct Accounting
@@ -304,6 +328,12 @@ func (e *Engine) MainSwapDevice() (devName string, err error) {
 func (e *Engine) Run(cfg Config) *Report {
 	start := e.K.M.Clock.Now()
 	rep := &Report{Acct: Accounting{ByCategory: e.acct.ByCategory}}
+	if e.TraceRegion.Frames > 0 {
+		// Salvage the dead kernel's flight recorder before touching
+		// anything else: it tells the crash kernel what the main kernel
+		// was doing when it died.
+		rep.Trace = trace.Parse(e.rd.at(CatTrace), e.TraceRegion)
+	}
 	cands, err := e.ListCandidates()
 	rep.Candidates = cands
 	if err != nil && len(cands) == 0 {
@@ -330,7 +360,26 @@ func (e *Engine) Run(cfg Config) *Report {
 // mask and defer to the crash procedure (Table 1).
 func (e *Engine) resurrectOne(cand Candidate, mainSwapName string) ProcReport {
 	pr := ProcReport{Candidate: cand}
-	fail := func(err error) ProcReport {
+	// The timeline recorder: each step carries the bytes read from the
+	// dead kernel and the virtual time spent since the previous step.
+	markBytes := e.acct.total()
+	markTime := e.K.M.Clock.Now()
+	step := func(ph Phase, pages int, err error) {
+		st := PhaseStep{
+			Phase:    ph,
+			Pages:    pages,
+			Bytes:    e.acct.total() - markBytes,
+			Duration: e.K.M.Clock.Since(markTime),
+		}
+		if err != nil {
+			st.Err = err.Error()
+		}
+		pr.Timeline = append(pr.Timeline, st)
+		markBytes += st.Bytes
+		markTime += st.Duration
+	}
+	fail := func(ph Phase, err error) ProcReport {
+		step(ph, 0, err)
 		pr.Outcome = OutcomeFailed
 		pr.Err = err
 		return pr
@@ -338,26 +387,27 @@ func (e *Engine) resurrectOne(cand Candidate, mainSwapName string) ProcReport {
 
 	old, err := layout.ReadProc(e.rd.at(CatProc), cand.Addr, e.VerifyCRC)
 	if err != nil {
-		return fail(fmt.Errorf("process descriptor: %w", err))
+		return fail(PhaseParse, fmt.Errorf("process descriptor: %w", err))
 	}
 	e.parseTime()
 
 	if kernel.LookupProgram(old.Program) == nil {
-		return fail(fmt.Errorf("program %q not on disk", old.Program))
+		return fail(PhaseParse, fmt.Errorf("program %q not on disk", old.Program))
 	}
 
 	np, err := e.K.CreateProcessForResurrection(old.Name, old.Program)
 	if err != nil {
-		return fail(fmt.Errorf("create process: %w", err))
+		return fail(PhaseParse, fmt.Errorf("create process: %w", err))
 	}
 	pr.NewPID = np.PID
 
 	// Saved hardware context from the dead kernel stack (Section 3.2).
 	ctx, ok, err := layout.ReadContext(e.rd.at(CatContext), old.KStack)
 	if err != nil || !ok || !ctx.Saved {
-		return fail(fmt.Errorf("saved context missing or unreadable on kernel stack %#x", old.KStack))
+		return fail(PhaseParse, fmt.Errorf("saved context missing or unreadable on kernel stack %#x", old.KStack))
 	}
 	e.parseTime()
+	step(PhaseParse, 0, nil)
 
 	// Open files first so file-backed regions can reference the new
 	// records; also flush the dead kernel's dirty page-cache pages.
@@ -365,27 +415,57 @@ func (e *Engine) resurrectOne(cand Candidate, mainSwapName string) ProcReport {
 	if err != nil {
 		if layout.IsCorruption(err) {
 			pr.Missing |= kernel.ResFiles
+			step(PhaseFileReopen, 0, err) // degraded, not fatal
 		} else {
-			return fail(fmt.Errorf("restore files: %w", err))
+			return fail(PhaseFileReopen, fmt.Errorf("restore files: %w", err))
 		}
+	} else {
+		step(PhaseFileReopen, 0, nil)
 	}
 	pr.DirtyFlushed = flushed
+	step(PhaseFlush, flushed, nil)
 
 	// Memory regions and page contents — corruption here is fatal: a
 	// process without its memory cannot run a crash procedure either.
 	if err := e.restoreRegions(np, old, fileMap); err != nil {
-		return fail(fmt.Errorf("restore regions: %w", err))
+		return fail(PhaseRegions, fmt.Errorf("restore regions: %w", err))
 	}
+	step(PhaseRegions, 0, nil)
+
+	swapMark := e.acct.ByCategory[CatSwapData]
 	copied, restaged, err := e.restorePages(np, old, mainSwapName)
 	pr.PagesCopied, pr.PagesRestaged = copied, restaged
+	swapBytes := e.acct.ByCategory[CatSwapData] - swapMark
+	// restorePages is one pass over both resident and swapped pages;
+	// split its accounting so Table 4 sees page copy and swap re-stage
+	// as separate timeline entries. An error is attributed to the
+	// re-stage phase once swap reading had begun.
+	totalDelta := e.acct.total() - markBytes
+	dur := e.K.M.Clock.Since(markTime)
+	pc := PhaseStep{Phase: PhasePageCopy, Pages: copied, Bytes: totalDelta - swapBytes, Duration: dur}
+	sr := PhaseStep{Phase: PhaseSwapRestage, Pages: restaged, Bytes: swapBytes}
+	markBytes += totalDelta
+	markTime += dur
 	if err != nil {
-		return fail(fmt.Errorf("restore pages: %w", err))
+		werr := fmt.Errorf("restore pages: %w", err)
+		if swapBytes > 0 {
+			sr.Err = werr.Error()
+			pr.Timeline = append(pr.Timeline, pc, sr)
+		} else {
+			pc.Err = werr.Error()
+			pr.Timeline = append(pr.Timeline, pc)
+		}
+		pr.Outcome = OutcomeFailed
+		pr.Err = werr
+		return pr
 	}
+	pr.Timeline = append(pr.Timeline, pc, sr)
 
 	// Shared memory (fatal on corruption: it is memory).
 	if err := e.restoreShm(np, old); err != nil {
-		return fail(fmt.Errorf("restore shm: %w", err))
+		return fail(PhaseShm, fmt.Errorf("restore shm: %w", err))
 	}
+	step(PhaseShm, 0, nil)
 
 	// Terminal, signals: peripheral; corruption sets missing bits. Only
 	// physical terminals are restorable (Section 3.3); pseudo terminals
@@ -393,24 +473,32 @@ func (e *Engine) resurrectOne(cand Candidate, mainSwapName string) ProcReport {
 	if old.Terminal != 0 {
 		if err := e.restoreTerminal(np, old); err != nil {
 			pr.Missing |= kernel.ResTerminal
+			step(PhaseTerminal, 0, err)
+		} else {
+			step(PhaseTerminal, 0, nil)
 		}
 	}
 	if old.Signals != 0 {
 		// A corrupted signal table degrades to default handlers; it is
 		// not worth failing the resurrection over.
-		_ = e.restoreSignals(np, old)
+		step(PhaseSignals, 0, e.restoreSignals(np, old))
 	}
 
 	// Pipes and sockets: the prototype reports them as missing
 	// (Section 3.3); with the Section 7 extension enabled they are
 	// restored — except pipes caught mid-operation, whose locked
 	// semaphore marks them inconsistent.
+	var ipcErr error
 	if e.ResurrectIPC {
 		if err := e.restorePipes(np, old); err != nil {
 			pr.Missing |= kernel.ResPipes
+			ipcErr = err
 		}
 		if err := e.restoreSockets(np, old); err != nil {
 			pr.Missing |= kernel.ResSockets
+			if ipcErr == nil {
+				ipcErr = err
+			}
 		}
 	} else {
 		if has, _ := e.hasIPC(old.Pipes, layout.TypePipe); has {
@@ -420,13 +508,17 @@ func (e *Engine) resurrectOne(cand Candidate, mainSwapName string) ProcReport {
 			pr.Missing |= kernel.ResSockets
 		}
 	}
+	step(PhaseIPC, 0, ipcErr)
 
 	if err := e.K.InstallContext(np, ctx); err != nil {
-		return fail(fmt.Errorf("install context: %w", err))
+		return fail(PhaseContext, fmt.Errorf("install context: %w", err))
 	}
+	step(PhaseContext, 0, nil)
 
 	// Table 1 policy.
-	return e.applyPolicy(np, cand, pr)
+	pr = e.applyPolicy(np, cand, pr)
+	step(PhasePolicy, 0, pr.Err)
+	return pr
 }
 
 // applyPolicy runs the crash procedure (if registered) and decides the

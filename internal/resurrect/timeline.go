@@ -1,0 +1,112 @@
+package resurrect
+
+import (
+	"fmt"
+	"time"
+)
+
+// Phase names one stage of a single process's resurrection, in the order
+// resurrectOne performs them. The timeline built from these phases is the
+// per-process half of the failure attribution the experiment harness
+// reports: when resurrection fails, the phase reached says *where* in the
+// Section 3.3 pipeline the dead kernel's structures were too corrupt to use.
+type Phase int
+
+// Resurrection phases, in execution order.
+const (
+	// PhaseParse reads the process descriptor and saved context out of
+	// the dead kernel and creates the empty target process.
+	PhaseParse Phase = iota
+	// PhaseFileReopen reopens the process's files by name and path.
+	PhaseFileReopen
+	// PhaseFlush writes the dead kernel's dirty page-cache pages to disk.
+	PhaseFlush
+	// PhaseRegions rebuilds the memory-region list.
+	PhaseRegions
+	// PhasePageCopy copies (or maps) resident pages from the dead
+	// kernel's frames.
+	PhasePageCopy
+	// PhaseSwapRestage re-stages pages from the dead kernel's swap
+	// partition into the new kernel's.
+	PhaseSwapRestage
+	// PhaseShm reattaches shared-memory segments.
+	PhaseShm
+	// PhaseTerminal reconnects the controlling terminal.
+	PhaseTerminal
+	// PhaseSignals restores the signal table.
+	PhaseSignals
+	// PhaseIPC restores (or reports missing) pipes and sockets.
+	PhaseIPC
+	// PhaseContext installs the saved hardware context.
+	PhaseContext
+	// PhasePolicy runs the crash procedure and the Table 1 decision.
+	PhasePolicy
+)
+
+var phaseNames = [...]string{
+	"parse", "file-reopen", "flush", "regions", "page-copy",
+	"swap-restage", "shm", "terminal", "signals", "ipc", "context",
+	"policy",
+}
+
+func (p Phase) String() string {
+	if int(p) < len(phaseNames) {
+		return phaseNames[p]
+	}
+	return fmt.Sprintf("Phase(%d)", int(p))
+}
+
+// PhaseStep is one completed (or failed) phase of a process's resurrection
+// timeline, with the byte/page counters that feed Table 4 accounting.
+type PhaseStep struct {
+	Phase Phase
+	// Err is the phase's failure, "" on success. A non-fatal error (a
+	// peripheral resource degraded to a missing bit) still appears here.
+	Err string
+	// Pages counts pages the phase handled (copied, re-staged, flushed).
+	Pages int
+	// Bytes counts bytes read from the dead kernel's memory during the
+	// phase (the same counting that feeds Table 4).
+	Bytes int64
+	// Duration is the virtual time the phase consumed.
+	Duration time.Duration
+}
+
+// Timeline is a process's resurrection history, one step per phase reached.
+// Phases after a fatal failure are absent: the timeline's length says how
+// far the pipeline got.
+type Timeline []PhaseStep
+
+// Last returns the final step reached, or nil for an empty timeline.
+func (t Timeline) Last() *PhaseStep {
+	if len(t) == 0 {
+		return nil
+	}
+	return &t[len(t)-1]
+}
+
+// FailedPhase returns the phase of the last step that carried an error. ok
+// is false when every recorded step succeeded.
+func (t Timeline) FailedPhase() (Phase, bool) {
+	for i := len(t) - 1; i >= 0; i-- {
+		if t[i].Err != "" {
+			return t[i].Phase, true
+		}
+	}
+	return 0, false
+}
+
+// String renders the timeline compactly: "parse → file-reopen → ...".
+func (t Timeline) String() string {
+	s := ""
+	for i, st := range t {
+		if i > 0 {
+			s += " → "
+		}
+		s += st.Phase.String()
+		if st.Err != "" {
+			s += "(!)"
+		}
+	}
+	return s
+}

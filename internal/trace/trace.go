@@ -1,0 +1,387 @@
+// Package trace implements Otherworld's crash-surviving flight recorder: a
+// fixed-layout ring buffer of binary trace events that the main kernel
+// writes into a dedicated, unprotected sub-region of the reserved crash
+// area during normal operation — the same trick as Linux pstore/ramoops.
+//
+// Because the ring lives in raw physical memory, it survives the kernel
+// failure: after the microreboot the crash kernel re-parses it out of the
+// dead kernel's bytes (the natural extension of the paper's Section 3.3
+// "parse the dead kernel's memory" design) and learns what the main kernel
+// was doing at panic time — the panic context, the faults that had been
+// injected and had manifested, and the most recent scheduler decisions and
+// syscall/pagefault counter snapshots.
+//
+// Events are CRC-framed exactly like internal/layout records
+// (magic | kind | flags | length | payload | crc32), one event per
+// fixed-size slot, so the parser can tolerate arbitrary corruption of the
+// ring itself: a damaged slot is skipped and counted, never a parse abort.
+// Wild writes land on the ring like on any other memory — the recorder is
+// part of the experiment, not outside it.
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sort"
+
+	"otherworld/internal/phys"
+)
+
+// Magic marks a trace slot; deliberately distinct from layout.Magic so a
+// trace slot can never be confused with a kernel record.
+const Magic uint16 = 0x0D7C
+
+// SlotSize is the fixed size of one ring slot in bytes. A frame holds
+// exactly PageSize/SlotSize slots.
+const SlotSize = 128
+
+// Slot framing, mirroring internal/layout records:
+//
+//	magic(2) | kind(1) | flags(1) | payload length(4) | payload | crc32(4)
+const (
+	headerSize  = 8
+	trailerSize = 4
+	maxPayload  = SlotSize - headerSize - trailerSize
+)
+
+// MaxNote bounds the free-text note so an event always fits one slot.
+const MaxNote = 72
+
+// Kind classifies a trace event.
+type Kind uint8
+
+// Event kinds.
+const (
+	KindInvalid Kind = iota
+	// KindBoot marks a kernel generation starting (A = boot count).
+	KindBoot
+	// KindSched is a sampled scheduler decision: PID was given a quantum
+	// at program counter PC (A = total steps so far).
+	KindSched
+	// KindCounters is a periodic counter snapshot: A = syscalls,
+	// B = pagefaults | swap-ins<<32.
+	KindCounters
+	// KindFaultInject records one injected fault (A = fault class,
+	// B = corrupted physical address, PID = victim thread for stack
+	// faults).
+	KindFaultInject
+	// KindFaultManifest records a latent fault manifesting (A = the
+	// misbehaviour code, Note = the kernel path it fired in).
+	KindFaultManifest
+	// KindPanic is the kernel failure context: CPU, PID, PC of the
+	// failing thread, A/B packed via PackPanic, Note = panic reason.
+	KindPanic
+	kindMax
+)
+
+var kindNames = [...]string{
+	"invalid", "boot", "sched", "counters",
+	"fault-inject", "fault-manifest", "panic",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Event is one flight-recorder entry. The scalar fields A and B carry
+// kind-specific values (see the Kind constants).
+type Event struct {
+	// Seq is the global write sequence number; parsing sorts by it.
+	Seq  uint64
+	Kind Kind
+	// CPU is the processor the event was observed on.
+	CPU uint8
+	// PID is the process involved (0 if none).
+	PID uint32
+	// PC is the user program counter of that process at event time.
+	PC uint64
+	// A and B are kind-specific scalars.
+	A, B uint64
+	// Note is a short free-text annotation, truncated to MaxNote bytes.
+	Note string
+}
+
+func (e Event) String() string {
+	s := fmt.Sprintf("#%d %s cpu%d pid%d pc=%d a=%#x b=%#x",
+		e.Seq, e.Kind, e.CPU, e.PID, e.PC, e.A, e.B)
+	if e.Note != "" {
+		s += " " + e.Note
+	}
+	return s
+}
+
+// PackPanic packs a panic event's A/B scalars: panic kind, oops
+// subcategory, and the syscall in flight (if any).
+func PackPanic(panicKind, oopsKind uint8, inSyscall bool, syscallNo uint16) (a, b uint64) {
+	a = uint64(panicKind)
+	b = uint64(oopsKind) | uint64(syscallNo)<<16
+	if inSyscall {
+		b |= 1 << 8
+	}
+	return a, b
+}
+
+// UnpackPanic reverses PackPanic.
+func UnpackPanic(a, b uint64) (panicKind, oopsKind uint8, inSyscall bool, syscallNo uint16) {
+	return uint8(a), uint8(b), b&(1<<8) != 0, uint16(b >> 16)
+}
+
+// PackCounters packs a counter snapshot's B scalar.
+func PackCounters(pageFaults, swapIns uint64) uint64 {
+	return pageFaults&0xFFFFFFFF | (swapIns&0xFFFFFFFF)<<32
+}
+
+// UnpackCounters reverses PackCounters.
+func UnpackCounters(b uint64) (pageFaults, swapIns uint64) {
+	return b & 0xFFFFFFFF, b >> 32
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// encodeSlot seals an event into a SlotSize-byte image.
+func encodeSlot(ev Event) []byte {
+	note := ev.Note
+	if len(note) > MaxNote {
+		note = note[:MaxNote]
+	}
+	payLen := 38 + len(note)
+	buf := make([]byte, SlotSize)
+	binary.LittleEndian.PutUint16(buf[0:], Magic)
+	buf[2] = uint8(ev.Kind)
+	buf[3] = 0 // flags, reserved
+	binary.LittleEndian.PutUint32(buf[4:], uint32(payLen))
+	p := buf[headerSize:]
+	binary.LittleEndian.PutUint64(p[0:], ev.Seq)
+	p[8] = ev.CPU
+	binary.LittleEndian.PutUint32(p[9:], ev.PID)
+	binary.LittleEndian.PutUint64(p[13:], ev.PC)
+	binary.LittleEndian.PutUint64(p[21:], ev.A)
+	binary.LittleEndian.PutUint64(p[29:], ev.B)
+	p[37] = uint8(len(note))
+	copy(p[38:], note)
+	crc := crc32.Checksum(buf[:headerSize+payLen], crcTable)
+	binary.LittleEndian.PutUint32(buf[headerSize+payLen:], crc)
+	return buf
+}
+
+// decodeSlot validates and decodes one slot image. It returns ok=false for
+// anything that fails validation; the caller decides whether the slot was
+// empty or damaged.
+func decodeSlot(buf []byte) (Event, bool) {
+	var ev Event
+	if len(buf) < SlotSize {
+		return ev, false
+	}
+	if binary.LittleEndian.Uint16(buf[0:]) != Magic {
+		return ev, false
+	}
+	kind := Kind(buf[2])
+	if kind == KindInvalid || kind >= kindMax {
+		return ev, false
+	}
+	payLen := binary.LittleEndian.Uint32(buf[4:])
+	if payLen < 38 || payLen > maxPayload {
+		return ev, false
+	}
+	stored := binary.LittleEndian.Uint32(buf[headerSize+payLen:])
+	if crc32.Checksum(buf[:headerSize+payLen], crcTable) != stored {
+		return ev, false
+	}
+	p := buf[headerSize:]
+	ev.Kind = kind
+	ev.Seq = binary.LittleEndian.Uint64(p[0:])
+	ev.CPU = p[8]
+	ev.PID = binary.LittleEndian.Uint32(p[9:])
+	ev.PC = binary.LittleEndian.Uint64(p[13:])
+	ev.A = binary.LittleEndian.Uint64(p[21:])
+	ev.B = binary.LittleEndian.Uint64(p[29:])
+	noteLen := int(p[37])
+	if 38+noteLen > int(payLen) {
+		return ev, false
+	}
+	ev.Note = string(p[38 : 38+noteLen])
+	return ev, true
+}
+
+// Ring is the writer side of the flight recorder: the main kernel holds one
+// over its crash-area sub-region and appends events during normal
+// operation. A nil *Ring is a valid no-op recorder, so instrumented code
+// never needs to check whether tracing is enabled.
+type Ring struct {
+	mem    *phys.Mem
+	region phys.Region
+	slots  int
+	seq    uint64
+	// Dropped counts events whose slot write failed (e.g. the region was
+	// protected by mistake); the recorder must never take the kernel down.
+	Dropped uint64
+}
+
+// CapacityOf returns how many SlotSize slots fit in region.
+func CapacityOf(region phys.Region) int {
+	return region.Bytes() / SlotSize
+}
+
+// FramesFor returns how many frames a ring of maxEvents slots needs.
+func FramesFor(maxEvents int) int {
+	if maxEvents <= 0 {
+		return 0
+	}
+	return (maxEvents*SlotSize + phys.PageSize - 1) / phys.PageSize
+}
+
+// NewRing prepares a writer over region. The capacity is the number of
+// slots that fit; a zero-frame region yields a nil ring (tracing off).
+func NewRing(mem *phys.Mem, region phys.Region) *Ring {
+	if region.Frames <= 0 || CapacityOf(region) == 0 {
+		return nil
+	}
+	return &Ring{mem: mem, region: region, slots: CapacityOf(region)}
+}
+
+// Region returns the physical region backing the ring.
+func (r *Ring) Region() phys.Region {
+	if r == nil {
+		return phys.Region{}
+	}
+	return r.region
+}
+
+// Capacity returns the slot count (0 for a nil ring).
+func (r *Ring) Capacity() int {
+	if r == nil {
+		return 0
+	}
+	return r.slots
+}
+
+// Seq returns the number of events recorded so far.
+func (r *Ring) Seq() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.seq
+}
+
+// Record appends one event, overwriting the oldest slot once the ring is
+// full. It never fails: a slot write error is counted and swallowed,
+// because the recorder must not perturb the kernel it is observing.
+func (r *Ring) Record(ev Event) {
+	if r == nil {
+		return
+	}
+	ev.Seq = r.seq
+	r.seq++
+	slot := int(ev.Seq % uint64(r.slots))
+	addr := phys.FrameAddr(r.region.Start) + uint64(slot*SlotSize)
+	if err := r.mem.WriteAt(addr, encodeSlot(ev)); err != nil {
+		r.Dropped++
+	}
+}
+
+// Reset zeroes the ring region and restarts the sequence, for a fresh
+// kernel generation taking over the recorder.
+func (r *Ring) Reset() {
+	if r == nil {
+		return
+	}
+	zero := make([]byte, phys.PageSize)
+	for f := r.region.Start; f < r.region.End(); f++ {
+		_ = r.mem.WriteAt(phys.FrameAddr(f), zero)
+	}
+	r.seq = 0
+	r.Dropped = 0
+}
+
+// MemoryReader is the read-only slice of memory behaviour parsing needs;
+// *phys.Mem satisfies it, as does the resurrection engine's byte-counting
+// accessor.
+type MemoryReader interface {
+	ReadAt(addr uint64, buf []byte) error
+}
+
+// Parsed is the reader side: the ring recovered from raw physical memory
+// after a failure.
+type Parsed struct {
+	// Events holds every valid slot in ascending sequence order.
+	Events []Event
+	// Damaged counts slots that held data but failed validation — the
+	// ring's own corruption, skipped rather than fatal.
+	Damaged int
+	// Empty counts never-written slots.
+	Empty int
+	// Capacity is the total slot count of the region.
+	Capacity int
+}
+
+// Parse scans a ring region slot by slot, tolerating corruption: a slot
+// that is not all-zero and does not validate is counted as damaged and
+// skipped. Parse never fails; an unreadable region yields an empty result
+// with every slot counted damaged.
+func Parse(m MemoryReader, region phys.Region) *Parsed {
+	p := &Parsed{Capacity: CapacityOf(region)}
+	buf := make([]byte, SlotSize)
+	base := phys.FrameAddr(region.Start)
+	for i := 0; i < p.Capacity; i++ {
+		if err := m.ReadAt(base+uint64(i*SlotSize), buf); err != nil {
+			p.Damaged++
+			continue
+		}
+		if allZero(buf) {
+			p.Empty++
+			continue
+		}
+		ev, ok := decodeSlot(buf)
+		if !ok {
+			p.Damaged++
+			continue
+		}
+		p.Events = append(p.Events, ev)
+	}
+	sort.Slice(p.Events, func(i, j int) bool { return p.Events[i].Seq < p.Events[j].Seq })
+	return p
+}
+
+func allZero(b []byte) bool {
+	for _, v := range b {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// LastOfKind returns the most recent event of kind k, or nil.
+func (p *Parsed) LastOfKind(k Kind) *Event {
+	if p == nil {
+		return nil
+	}
+	for i := len(p.Events) - 1; i >= 0; i-- {
+		if p.Events[i].Kind == k {
+			return &p.Events[i]
+		}
+	}
+	return nil
+}
+
+// LastPanic returns the most recent panic event, or nil. This is the crash
+// kernel's primary input: what the main kernel was doing when it died.
+func (p *Parsed) LastPanic() *Event { return p.LastOfKind(KindPanic) }
+
+// CountKind returns how many recovered events have kind k.
+func (p *Parsed) CountKind(k Kind) int {
+	if p == nil {
+		return 0
+	}
+	n := 0
+	for _, ev := range p.Events {
+		if ev.Kind == k {
+			n++
+		}
+	}
+	return n
+}
