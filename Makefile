@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench campaign
+.PHONY: build test vet lint race verify bench campaign
 
 build:
 	$(GO) build ./...
@@ -8,16 +8,23 @@ build:
 vet:
 	$(GO) vet ./...
 
+# lint runs owvet, the repo's own static-analysis suite (see DESIGN.md
+# "Enforced invariants"): cross-kernel memory discipline, campaign
+# determinism, modeled-panic usage, substrate error handling and lock
+# hygiene. Exits non-zero on any diagnostic.
+lint: build
+	$(GO) run ./cmd/owvet
+
 test:
 	$(GO) test ./...
 
-# Race-check the packages with internal concurrency (the campaign runner's
-# worker pool) and the new binary-framing code.
+# Race-check everything; the campaign worker pool and trace ring get the
+# most exercise, but the whole module must be race-clean.
 race:
-	$(GO) test -race ./internal/experiment/... ./internal/trace/...
+	$(GO) test -race ./...
 
-# verify is the pre-merge gate: build, vet, full tests, targeted race pass.
-verify: build vet test race
+# verify is the pre-merge gate: build, vet, owvet lint, full tests, race pass.
+verify: build vet lint test race
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

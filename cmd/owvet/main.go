@@ -1,0 +1,86 @@
+// Command owvet runs the repository's static-analysis suite
+// (internal/analysis): machine-checked enforcement of the cross-kernel
+// memory discipline, campaign determinism, panic modeling, substrate error
+// handling and lock discipline invariants the paper's correctness argument
+// depends on. It is part of the `make verify` gate.
+//
+// Usage:
+//
+//	owvet [-C dir] [-json] [-enable csv] [-disable csv] [-list]
+//
+// owvet walks the enclosing module (found from -C or the working
+// directory) itself — no go/packages, no external dependencies — and exits
+// 1 if any diagnostic is reported, 2 on usage or load errors.
+//
+// A diagnostic is suppressed with a comment on, or directly above, the
+// flagged line:
+//
+//	//owvet:allow <analyzer>: <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"otherworld/internal/analysis"
+)
+
+func main() {
+	dir := flag.String("C", ".", "directory inside the module to analyze")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON (stable schema)")
+	enable := flag.String("enable", "", "comma-separated analyzers to run (default: all)")
+	disable := flag.String("disable", "", "comma-separated analyzers to skip")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root, err := analysis.FindModuleRoot(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "owvet:", err)
+		os.Exit(2)
+	}
+	cfg := analysis.Config{Enable: splitCSV(*enable), Disable: splitCSV(*disable)}
+	diags, err := analysis.Run(root, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "owvet:", err)
+		os.Exit(2)
+	}
+
+	if *jsonOut {
+		if err := analysis.WriteJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "owvet:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "owvet: %d diagnostic(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}
+
+func splitCSV(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Config selects which analyzers run and (for tests) where.
+type Config struct {
+	// Enable restricts the run to the named analyzers (nil/empty = all).
+	Enable []string
+	// Disable removes analyzers after Enable is applied.
+	Disable []string
+	// Scopes overrides an analyzer's default package scope with explicit
+	// module-relative path prefixes. Used by tests; nil keeps defaults.
+	Scopes map[string][]string
+}
+
+// selected resolves the configured analyzer set, in suite order.
+func (c Config) selected() ([]*Analyzer, error) {
+	on := make(map[string]bool, len(All))
+	if len(c.Enable) == 0 {
+		for _, a := range All {
+			on[a.Name] = true
+		}
+	}
+	for _, n := range c.Enable {
+		if Lookup(n) == nil {
+			return nil, fmt.Errorf("analysis: unknown analyzer %q", n)
+		}
+		on[n] = true
+	}
+	for _, n := range c.Disable {
+		if Lookup(n) == nil {
+			return nil, fmt.Errorf("analysis: unknown analyzer %q", n)
+		}
+		on[n] = false
+	}
+	var out []*Analyzer
+	for _, a := range All {
+		if on[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out, nil
+}
+
+// Run loads every package under the module rooted at root and applies the
+// configured analyzers, returning diagnostics sorted by file, line, column
+// and analyzer name.
+func Run(root string, cfg Config) ([]Diagnostic, error) {
+	analyzers, err := cfg.selected()
+	if err != nil {
+		return nil, err
+	}
+	mod, err := DiscoverModule(root)
+	if err != nil {
+		return nil, err
+	}
+	loader := NewLoader(mod)
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		allows := collectAllows(pkg)
+		for _, a := range analyzers {
+			if !a.AppliesTo(pkg.Rel, cfg.Scopes[a.Name]) {
+				continue
+			}
+			a.Run(&Pass{
+				Analyzer: a,
+				Pkg:      pkg,
+				modRoot:  mod.Root,
+				allows:   allows,
+				diags:    &diags,
+			})
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// JSONVersion identifies the machine-readable output schema. Bump only on
+// incompatible changes; tooling keys off it.
+const JSONVersion = 1
+
+// jsonReport is the owvet -json document.
+type jsonReport struct {
+	Version     int          `json:"version"`
+	Count       int          `json:"count"`
+	Diagnostics []Diagnostic `json:"diagnostics"`
+}
+
+// WriteJSON renders diagnostics in the stable machine-readable schema.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	rep := jsonReport{Version: JSONVersion, Count: len(diags), Diagnostics: diags}
+	if rep.Diagnostics == nil {
+		rep.Diagnostics = []Diagnostic{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

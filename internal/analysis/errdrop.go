@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrDrop forbids silently discarding errors returned by the simulation
+// substrate — the physical-memory, record-layout and disk packages. Those
+// errors are how modeled corruption announces itself (ErrOutOfRange,
+// ProtectionFault, CorruptionError, bad-sector reads); dropping one
+// converts an injected fault into a silently wrong result instead of a
+// detected failure, which would invalidate every campaign table built on
+// top. Flagged forms: a bare call statement, `_ =` assignments, blank
+// identifiers in the error slots of multi-value assignments, and go/defer
+// statements whose error can never be observed.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc: "forbid discarding errors from the phys, layout and disk APIs; " +
+		"modeled corruption must surface as a detected failure",
+	Scope: nil, // whole module
+	Run:   runErrDrop,
+}
+
+// errDropPkgs are the substrate packages whose errors must be handled.
+var errDropPkgs = []string{"internal/phys", "internal/layout", "internal/disk"}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+// substrateCallErrs resolves a call to a phys/layout/disk function and
+// returns the indices of its error results (nil if not a substrate call or
+// it returns no error).
+func substrateCallErrs(pkg *Package, call *ast.CallExpr) []int {
+	fn := calleeFunc(pkg, call)
+	if fn == nil || fn.Pkg() == nil {
+		return nil
+	}
+	match := false
+	for _, rel := range errDropPkgs {
+		if pkgPathIs(fn.Pkg().Path(), rel) {
+			match = true
+			break
+		}
+	}
+	if !match {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var errIdx []int
+	for i := 0; i < sig.Results().Len(); i++ {
+		if types.Identical(sig.Results().At(i).Type(), errorType) {
+			errIdx = append(errIdx, i)
+		}
+	}
+	return errIdx
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func runErrDrop(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := unparen(n.X).(*ast.CallExpr); ok {
+					if errIdx := substrateCallErrs(p.Pkg, call); len(errIdx) > 0 {
+						p.Reportf(n.Pos(),
+							"%s discards its error result; modeled corruption must surface "+
+								"as a detected failure, not a wrong result", callName(call))
+					}
+				}
+			case *ast.DeferStmt:
+				reportDroppedCall(p, n.Call, "defer")
+			case *ast.GoStmt:
+				reportDroppedCall(p, n.Call, "go")
+			case *ast.AssignStmt:
+				checkAssignDrop(p, n)
+			}
+			return true
+		})
+	}
+}
+
+// reportDroppedCall flags `defer f(...)` / `go f(...)` on substrate calls,
+// whose error results are structurally unobservable.
+func reportDroppedCall(p *Pass, call *ast.CallExpr, kw string) {
+	if errIdx := substrateCallErrs(p.Pkg, call); len(errIdx) > 0 {
+		p.Reportf(call.Pos(),
+			"%s %s discards its error result; modeled corruption must surface "+
+				"as a detected failure, not a wrong result", kw, callName(call))
+	}
+}
+
+// checkAssignDrop flags blank-identifier error slots in assignments whose
+// right-hand side is a single substrate call.
+func checkAssignDrop(p *Pass, as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	errIdx := substrateCallErrs(p.Pkg, call)
+	if len(errIdx) == 0 {
+		return
+	}
+	for _, i := range errIdx {
+		// Single-result call assigned to one LHS, or tuple assignment with
+		// the error slot blanked.
+		if i < len(as.Lhs) && isBlank(as.Lhs[i]) {
+			p.Reportf(as.Pos(),
+				"error from %s assigned to the blank identifier; modeled corruption "+
+					"must surface as a detected failure, not a wrong result", callName(call))
+			return
+		}
+	}
+}
+
+// callName renders a call target for diagnostics ("m.ReadU64", "layout.ReadProc").
+func callName(call *ast.CallExpr) string {
+	return types.ExprString(unparen(call.Fun))
+}

@@ -1,0 +1,45 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoPanic guards the simulator's failure model: kernel crashes are modeled
+// as kernel.PanicEvent values flowing through oopsf/raise so the harness
+// can exercise the microreboot and resurrection paths. A literal Go
+// panic(...) in the kernel-side packages would instead tear down the whole
+// simulator process — turning a modeled crash into a real one and taking
+// the campaign with it. Genuinely-unreachable programmer-error panics
+// (e.g. duplicate init-time registration) are annotated with
+// //owvet:allow gopanic.
+var GoPanic = &Analyzer{
+	Name: "gopanic",
+	Doc: "forbid literal Go panic() in kernel-side packages; kernel failures " +
+		"are modeled as PanicEvent values, not process teardown",
+	Scope: []string{"internal/kernel", "internal/core", "internal/resurrect"},
+	Run:   runGoPanic,
+}
+
+func runGoPanic(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, isBuiltin := p.Pkg.Info.Uses[id].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			p.Reportf(call.Pos(),
+				"literal panic() tears down the simulator process instead of exercising "+
+					"the microreboot; model the failure as a kernel.PanicEvent (oopsf/raise) "+
+					"or return an error")
+			return true
+		})
+	}
+}

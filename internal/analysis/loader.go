@@ -1,0 +1,260 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package of the target module.
+type Package struct {
+	// Path is the full import path; Rel is the slash-separated path
+	// relative to the module root ("" for the root package itself).
+	Path string
+	Rel  string
+	Dir  string
+	Name string
+	// Files holds the parsed non-test sources, sorted by file name.
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	Fset  *token.FileSet
+}
+
+// Module is the analysis target discovered from a go.mod.
+type Module struct {
+	// Root is the directory holding go.mod; Path is the module path.
+	Root string
+	Path string
+	// pkgDirs maps import path -> source directory.
+	pkgDirs map[string]string
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing a
+// go.mod, mirroring how the go tool resolves "./...".
+func FindModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(abs, "go.mod")); err == nil {
+			return abs, nil
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", fmt.Errorf("analysis: no go.mod found above %s", dir)
+		}
+		abs = parent
+	}
+}
+
+// DiscoverModule reads go.mod at root and walks the tree recording every
+// directory that holds non-test Go files. Vendor, testdata, hidden and
+// underscore-prefixed directories are skipped, matching the go tool's
+// interpretation of "./...".
+func DiscoverModule(root string) (*Module, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	mod := &Module{Root: root, pkgDirs: make(map[string]string)}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			mod.Path = strings.Trim(strings.TrimSpace(rest), `"`)
+			break
+		}
+	}
+	if mod.Path == "" {
+		return nil, fmt.Errorf("analysis: no module directive in %s/go.mod", root)
+	}
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		// A nested module is its own analysis target, never part of ours.
+		if path != root {
+			if _, err := os.Stat(filepath.Join(path, "go.mod")); err == nil {
+				return filepath.SkipDir
+			}
+		}
+		if len(goSources(path)) == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		ip := mod.Path
+		if rel != "." {
+			ip = mod.Path + "/" + filepath.ToSlash(rel)
+		}
+		mod.pkgDirs[ip] = path
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mod, nil
+}
+
+// ImportPaths returns every package import path in the module, sorted.
+func (m *Module) ImportPaths() []string {
+	out := make([]string, 0, len(m.pkgDirs))
+	for ip := range m.pkgDirs {
+		out = append(out, ip)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Rel converts a module import path to its module-relative form.
+func (m *Module) Rel(importPath string) string {
+	if importPath == m.Path {
+		return ""
+	}
+	return strings.TrimPrefix(importPath, m.Path+"/")
+}
+
+// goSources lists the non-test .go files of dir, sorted.
+func goSources(dir string) []string {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		out = append(out, filepath.Join(dir, name))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Loader parses and type-checks module packages. Module-internal imports
+// are resolved from source recursively; standard-library imports go through
+// the go/importer source importer, so the loader needs no compiled export
+// data and no dependencies outside the standard library.
+type Loader struct {
+	fset    *token.FileSet
+	mod     *Module
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader prepares a loader for mod.
+func NewLoader(mod *Module) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		fset:    fset,
+		mod:     mod,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+}
+
+// Import implements types.Importer over both module and stdlib packages.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.mod.Path || strings.HasPrefix(path, l.mod.Path+"/") {
+		p, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// Load parses and type-checks one module package (cached).
+func (l *Loader) Load(importPath string) (*Package, error) {
+	if p, ok := l.pkgs[importPath]; ok {
+		return p, nil
+	}
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", importPath)
+	}
+	dir, ok := l.mod.pkgDirs[importPath]
+	if !ok {
+		return nil, fmt.Errorf("analysis: no package %q in module %s", importPath, l.mod.Path)
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	var files []*ast.File
+	for _, src := range goSources(dir) {
+		f, err := parser.ParseFile(l.fset, src, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go sources in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(importPath, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", importPath, typeErrs[0])
+	}
+	p := &Package{
+		Path:  importPath,
+		Rel:   l.mod.Rel(importPath),
+		Dir:   dir,
+		Name:  files[0].Name.Name,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+		Fset:  l.fset,
+	}
+	l.pkgs[importPath] = p
+	return p, nil
+}
+
+// LoadAll loads every package in the module, sorted by import path.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var out []*Package
+	for _, ip := range l.mod.ImportPaths() {
+		p, err := l.Load(ip)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

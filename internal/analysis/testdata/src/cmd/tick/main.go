@@ -1,0 +1,18 @@
+// Command tick proves the nodeterminism scope covers cmd/ and that the
+// intended wall-clock ticker survives behind an allow directive.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	//owvet:allow nodeterminism: wall-clock elapsed-time report only, never campaign data
+	start := time.Now()
+	fmt.Println(stamp(), start)
+}
+
+func stamp() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}

@@ -1,0 +1,16 @@
+// Package disk is a stub of the real block-device package for analyzer
+// fixtures.
+package disk
+
+import "errors"
+
+// ErrBadSector models a failed raw read.
+var ErrBadSector = errors.New("disk: bad sector")
+
+// ReadRaw reads a raw slot image.
+func ReadRaw(slot int) ([]byte, error) {
+	if slot < 0 {
+		return nil, ErrBadSector
+	}
+	return make([]byte, 512), nil
+}

@@ -1,0 +1,9 @@
+// Package dump proves the crosskernel scope also covers the post-mortem
+// dump parser.
+package dump
+
+import "fixture/internal/phys"
+
+func inspectAnchor(m *phys.Mem) (uint64, error) {
+	return m.ReadU64(0) // want `direct phys\.Mem\.ReadU64`
+}

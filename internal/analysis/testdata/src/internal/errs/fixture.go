@@ -1,0 +1,61 @@
+// Package errs exercises the errdrop analyzer, which applies to every
+// package: errors from the phys/layout/disk substrate must be handled.
+package errs
+
+import (
+	"fixture/internal/disk"
+	"fixture/internal/layout"
+	"fixture/internal/phys"
+)
+
+func dropStatement(m *phys.Mem) {
+	m.Protect(1, true) // want `m\.Protect discards its error`
+}
+
+func dropBlank(m *phys.Mem) {
+	_ = m.SetKind(1, 2) // want `error from m\.SetKind assigned to the blank identifier`
+}
+
+func dropTupleSlot(m *phys.Mem) uint64 {
+	v, _ := m.ReadU64(0) // want `error from m\.ReadU64 assigned to the blank identifier`
+	return v
+}
+
+func dropLayoutTriple(m *phys.Mem) bool {
+	_, ok, _ := layout.ReadContext(m, 0) // want `error from layout\.ReadContext assigned to the blank identifier`
+	return ok
+}
+
+func dropDeferred(m *phys.Mem) {
+	defer m.Protect(1, false) // want `defer m\.Protect discards its error`
+}
+
+func dropDisk() []byte {
+	b, _ := disk.ReadRaw(3) // want `error from disk\.ReadRaw assigned to the blank identifier`
+	return b
+}
+
+func handledPropagate(m *phys.Mem) (uint64, error) {
+	return m.ReadU64(0)
+}
+
+func handledCheck(m *phys.Mem) uint64 {
+	v, err := m.ReadU64(0)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+func handledValueOnly(m *phys.Mem) (uint64, bool) {
+	v, ok, err := layout.ReadContext(m, 0)
+	if err != nil {
+		return 0, false
+	}
+	return v, ok
+}
+
+func allowedBestEffort(m *phys.Mem) {
+	//owvet:allow errdrop: best-effort cleanup of a frame validated above
+	_ = m.Protect(1, false)
+}

@@ -1,0 +1,77 @@
+// Package experiment exercises the nodeterminism analyzer: campaign tables
+// must replay bit-for-bit from a seed.
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `time\.Now reads the wall clock`
+}
+
+func globalRand() int {
+	return rand.Intn(6) // want `global rand source`
+}
+
+func seededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(6)
+}
+
+func racySelect(a, b chan int) int {
+	select { // want `select over 2 channel cases`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func politeSelect(a chan int) (int, bool) {
+	select {
+	case v := <-a:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+func printMap(m map[string]int) {
+	for k, v := range m { // want `map iteration order feeds fmt output`
+		fmt.Println(k, v)
+	}
+}
+
+func unsortedFlatten(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `never sorted`
+		out = append(out, k)
+	}
+	return out
+}
+
+func sortedFlatten(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sumMap(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func allowedClock() time.Duration {
+	//owvet:allow nodeterminism: fixture demonstrates the escape hatch
+	return time.Since(time.Unix(0, 0))
+}

@@ -1,0 +1,30 @@
+// Package kernel exercises the gopanic analyzer: kernel failures are
+// modeled values, never literal Go panics.
+package kernel
+
+import "fmt"
+
+var registry = map[string]bool{}
+
+// register mimics init-time program registration, where a duplicate is a
+// programmer error worth a real panic — annotated as such.
+func register(name string) {
+	if registry[name] {
+		//owvet:allow gopanic: init-time registration bug, not a modeled kernel failure
+		panic(fmt.Sprintf("kernel: %q registered twice", name))
+	}
+	registry[name] = true
+}
+
+func badBoundsCheck(frame, max int) {
+	if frame > max {
+		panic("frame out of range") // want `literal panic`
+	}
+}
+
+func modeledFailure(frame, max int) error {
+	if frame > max {
+		return fmt.Errorf("kernel: frame %d beyond %d", frame, max)
+	}
+	return nil
+}

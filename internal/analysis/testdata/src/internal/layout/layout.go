@@ -1,0 +1,19 @@
+// Package layout is a stub of the real record-layout package for analyzer
+// fixtures: its functions return errors that callers must handle.
+package layout
+
+import "fixture/internal/phys"
+
+// ReadContext mimics the real (context, ok, error) triple.
+func ReadContext(m *phys.Mem, addr uint64) (uint64, bool, error) {
+	v, err := m.ReadU64(addr)
+	if err != nil {
+		return 0, false, err
+	}
+	return v, v != 0, nil
+}
+
+// ReadProc mimics a record parse returning the next-record address.
+func ReadProc(m *phys.Mem, addr uint64) (uint64, error) {
+	return m.ReadU64(addr)
+}

@@ -1,0 +1,59 @@
+// Package resurrect exercises the crosskernel analyzer: direct phys.Mem
+// reads are forbidden except from the owvet:reader-marked wrapper.
+package resurrect
+
+import "fixture/internal/phys"
+
+// reader is the designated accounted accessor.
+//
+//owvet:reader
+type reader struct {
+	mem   *phys.Mem
+	bytes int64
+}
+
+// ReadAt is the sanctioned wrapper: direct phys access here is exempt.
+func (r *reader) ReadAt(addr uint64, buf []byte) error {
+	r.bytes += int64(len(buf))
+	return r.mem.ReadAt(addr, buf)
+}
+
+// word shows that every method of the marked type is exempt.
+func (r *reader) word(addr uint64) (uint64, error) {
+	r.bytes += 8
+	return r.mem.ReadU64(addr)
+}
+
+// pte mimics layout.PTE: a Frame method on a non-phys type must not trip
+// the analyzer.
+type pte uint64
+
+// Frame extracts the frame number.
+func (p pte) Frame() int { return int(p >> 12) }
+
+func frameOfPTE(p pte) int {
+	return p.Frame()
+}
+
+func parseDirect(m *phys.Mem) error {
+	var b [8]byte
+	return m.ReadAt(0, b[:]) // want `direct phys\.Mem\.ReadAt`
+}
+
+func wordDirect(m *phys.Mem) (uint64, error) {
+	return m.ReadU64(8) // want `direct phys\.Mem\.ReadU64`
+}
+
+func frameDirect(m *phys.Mem) ([]byte, error) {
+	return m.Frame(1) // want `direct phys\.Mem\.Frame`
+}
+
+func throughReader(r *reader, addr uint64) (uint64, error) {
+	return r.word(addr)
+}
+
+func allowedProbe(m *phys.Mem) error {
+	var b [4]byte
+	//owvet:allow crosskernel: boot-time self-test probe, not dead-kernel parsing
+	return m.ReadAt(4, b[:])
+}

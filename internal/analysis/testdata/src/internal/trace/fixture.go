@@ -1,0 +1,61 @@
+// Package trace exercises the lockdiscipline analyzer over the concurrent
+// ring-buffer package's scope.
+package trace
+
+import "sync"
+
+type ring struct {
+	mu    sync.Mutex
+	items []int
+}
+
+func lockByValue(mu sync.Mutex) { // want `passes a sync\.Mutex by value`
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+func copyRing(r *ring) int {
+	snapshot := *r // want `copies a lock-containing value`
+	return len(snapshot.items)
+}
+
+func rangeCopies(rings []ring) int {
+	n := 0
+	for _, r := range rings { // want `range variable copies a lock-containing value`
+		n += len(r.items)
+	}
+	return n
+}
+
+func returnLocked(r *ring, drain bool) int {
+	r.mu.Lock()
+	if drain {
+		return len(r.items) // want `return while r\.mu may still be locked`
+	}
+	n := len(r.items)
+	r.mu.Unlock()
+	return n
+}
+
+func deferUnlock(r *ring) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.items)
+}
+
+func balancedEarlyReturn(r *ring, quick bool) int {
+	r.mu.Lock()
+	if quick {
+		r.mu.Unlock()
+		return 0
+	}
+	n := len(r.items)
+	r.mu.Unlock()
+	return n
+}
+
+func allowedHandoff(r *ring) *ring {
+	r.mu.Lock()
+	//owvet:allow lockdiscipline: lock intentionally handed to the caller
+	return r
+}

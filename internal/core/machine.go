@@ -250,8 +250,8 @@ func (m *Machine) attachTracer(k *kernel.Kernel) {
 		return
 	}
 	for f := ring.Region().Start; f < ring.Region().End(); f++ {
-		_ = m.HW.Mem.Protect(f, false)
-		_ = m.HW.Mem.SetKind(f, phys.FrameReserved)
+		_ = m.HW.Mem.Protect(f, false)              //owvet:allow errdrop: ring region was bounds-checked by NewRing
+		_ = m.HW.Mem.SetKind(f, phys.FrameReserved) //owvet:allow errdrop: same validated frame as the line above
 	}
 	ring.Reset()
 	ring.Record(trace.Event{Kind: trace.KindBoot, A: uint64(k.Globals.BootCount)})
@@ -319,8 +319,8 @@ func (m *Machine) HandleFailure() (*FailureOutcome, error) {
 	// before resurrection has read it.
 	imgPart := m.imageRegion(img)
 	for f := imgPart.Start; f < imgPart.End(); f++ {
-		_ = m.HW.Mem.Protect(f, false)
-		_ = m.HW.Mem.SetKind(f, phys.FrameFree)
+		_ = m.HW.Mem.Protect(f, false)          //owvet:allow errdrop: slot regions are validated at machine construction
+		_ = m.HW.Mem.SetKind(f, phys.FrameFree) //owvet:allow errdrop: same validated frame as the line above
 	}
 	m.HW.ResetCPUs()
 
@@ -412,8 +412,8 @@ func (m *Machine) ColdReboot() error {
 	m.HW.TLB.Flush()
 	// Wipe frame state: a reboot reinitializes memory ownership.
 	for f := 0; f < m.HW.Mem.NumFrames(); f++ {
-		_ = m.HW.Mem.Protect(f, false)
-		_ = m.HW.Mem.SetKind(f, phys.FrameFree)
+		_ = m.HW.Mem.Protect(f, false)          //owvet:allow errdrop: f ranges over NumFrames, so the call cannot fail
+		_ = m.HW.Mem.SetKind(f, phys.FrameFree) //owvet:allow errdrop: same in-range frame as the line above
 	}
 	m.imageSlot = 1
 	m.swapIdx = 0

@@ -129,6 +129,7 @@ func Inspect(img *Image, globalsAddr uint64) (*Report, error) {
 		info := ProcInfo{PID: p.PID, Name: p.Name, Program: p.Program, CrashProc: p.CrashProc}
 		info.HasTerminal = p.Terminal != 0
 
+		//owvet:allow errdrop: the inventory is best-effort; a corrupt context record just leaves the syscall fields blank
 		if ctx, ok, _ := layout.ReadContext(img, p.KStack); ok {
 			info.InSyscall = ctx.InSyscall
 			info.SyscallNo = ctx.SyscallNo

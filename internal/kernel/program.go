@@ -133,6 +133,7 @@ func RegisterProgram(name string, factory func() Program) {
 	registryMu.Lock()
 	defer registryMu.Unlock()
 	if _, dup := programs[name]; dup {
+		//owvet:allow gopanic: init-time registration bug in the simulator itself, not a modeled kernel failure
 		panic(fmt.Sprintf("kernel: program %q registered twice", name))
 	}
 	programs[name] = factory

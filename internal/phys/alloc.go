@@ -113,6 +113,7 @@ func (a *FrameAllocator) Free(f int) {
 		return
 	}
 	delete(a.claimed, f)
+	//owvet:allow errdrop: f was in claimed, so it is inside the managed frame set
 	_ = a.mem.SetKind(f, FrameFree)
 	a.free = append(a.free, f)
 }
@@ -163,8 +164,8 @@ func (a *FrameAllocator) AdoptUnmanaged(mem *Mem, r Region) int {
 		if f < 0 || f >= mem.NumFrames() || a.inSet[f] {
 			continue
 		}
-		_ = mem.Protect(f, false)
-		_ = mem.SetKind(f, FrameFree)
+		_ = mem.Protect(f, false)     //owvet:allow errdrop: f is bounds-checked against mem.NumFrames above
+		_ = mem.SetKind(f, FrameFree) //owvet:allow errdrop: same bounds-checked frame as the line above
 		a.inSet[f] = true
 		a.free = append(a.free, f)
 		adopted++

@@ -86,6 +86,10 @@ func (a *Accounting) PageTableFraction() float64 {
 }
 
 // reader is the counting accessor the engine parses main memory through.
+// It is the one sanctioned path to raw dead-kernel bytes: every read is
+// charged to a Table 4 accounting category before it reaches phys.Mem.
+//
+//owvet:reader
 type reader struct {
 	mem  *phys.Mem
 	acct *Accounting
