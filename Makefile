@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race verify bench campaign
+.PHONY: build test vet lint race fuzz-short verify bench campaign
 
 build:
 	$(GO) build ./...
@@ -23,8 +23,17 @@ test:
 race:
 	$(GO) test -race ./...
 
-# verify is the pre-merge gate: build, vet, owvet lint, full tests, race pass.
-verify: build vet lint test race
+# fuzz-short gives each decoder-facing fuzz target a brief budget: the
+# record decoders the resurrection scan aims at the dead kernel's bytes,
+# and the flight-recorder parser that reads rings wild writes may have hit.
+# Long exploratory runs stay manual (go test -fuzz=<target> <pkg>).
+fuzz-short:
+	$(GO) test -run '^$$' -fuzz FuzzRecordDecode -fuzztime 10s ./internal/layout
+	$(GO) test -run '^$$' -fuzz FuzzTraceParse -fuzztime 10s ./internal/trace
+
+# verify is the pre-merge gate: build, vet, owvet lint, full tests, race
+# pass, and a short fuzz burst over the crash-kernel decoder surface.
+verify: build vet lint test race fuzz-short
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

@@ -8,6 +8,7 @@
 package otherworld
 
 import (
+	"fmt"
 	"testing"
 
 	_ "otherworld/internal/apps" // register the paper's applications
@@ -17,6 +18,7 @@ import (
 	"otherworld/internal/experiment"
 	"otherworld/internal/hw"
 	"otherworld/internal/kernel"
+	"otherworld/internal/resurrect"
 	"otherworld/internal/workload"
 )
 
@@ -205,6 +207,39 @@ func BenchmarkResurrectCopyVsMap(b *testing.B) {
 	}
 	b.ReportMetric(copySec*1000, "copy-resurrect-ms")
 	b.ReportMetric(mapSec*1000, "map-resurrect-ms")
+}
+
+// --- Parallel resurrection pipeline (ISSUE 3) -------------------------------
+
+// BenchmarkResurrectParallel recovers a multi-process MySQL machine and
+// sweeps the resurrection schedule model over 1/2/4/8 workers. Because the
+// Report's per-candidate durations are worker-count-independent, one
+// recovery yields the whole sweep via Report.ScheduleAt; speedup-4w-x is
+// the acceptance metric (≥ 2× on this scenario, asserted by
+// TestResurrectParallelSpeedup in internal/resurrect).
+func BenchmarkResurrectParallel(b *testing.B) {
+	const procs = 8
+	var rep *resurrect.Report
+	for i := 0; i < b.N; i++ {
+		m := benchMachine(b, 4242, nil)
+		for j := 0; j < procs; j++ {
+			if _, err := m.Start(fmt.Sprintf("mysqld-%d", j), apps.ProgMySQL); err != nil {
+				b.Fatal(err)
+			}
+		}
+		m.Run(200)
+		_ = m.K.InjectOops("bench")
+		out, err := m.HandleFailure()
+		if err != nil || out.Result != core.ResultRecovered {
+			b.Fatalf("recover: %v %v", out, err)
+		}
+		rep = out.Report
+	}
+	b.ReportMetric(rep.Duration.Seconds(), "serial-s")
+	for _, w := range []int{1, 2, 4, 8} {
+		b.ReportMetric(rep.ScheduleAt(w).Seconds(), fmt.Sprintf("sched-%dw-s", w))
+		b.ReportMetric(rep.SpeedupAt(w), fmt.Sprintf("speedup-%dw-x", w))
+	}
 }
 
 // --- Section 7: hot kernel update / rejuvenation ----------------------------

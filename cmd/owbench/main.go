@@ -25,6 +25,7 @@ import (
 	"otherworld/internal/experiment"
 	"otherworld/internal/hw"
 	"otherworld/internal/kernel"
+	"otherworld/internal/resurrect"
 )
 
 func main() {
@@ -39,8 +40,17 @@ func main() {
 	seed := flag.Int64("seed", 20100413, "seed")
 	showTrace := flag.Bool("trace", false, "print table-5 failure attributions from the flight recorder")
 	traceJSON := flag.String("trace-json", "", "write table-5 failure attributions as JSON to this file")
+	resWorkers := flag.Int("resurrect-workers", 0, "resurrection pipeline workers for campaigns (0 = NumCPU); changes only the modeled interruption time")
+	jsonOut := flag.String("json", "", "write a perf snapshot (per-benchmark custom metrics, seed, workers) as JSON to this file and exit; schema in EXPERIMENTS.md")
 	flag.Parse()
 
+	if *jsonOut != "" {
+		if err := writeSnapshot(*jsonOut, *seed, *resWorkers); err != nil {
+			fatal(err)
+		}
+		fmt.Println("perf snapshot written to", *jsonOut)
+		return
+	}
 	if !*all && *table == 0 && !*checkpoint && !*ablation && !*compare && !*scaling {
 		*all = true
 	}
@@ -81,6 +91,7 @@ func main() {
 	if run(5) {
 		fmt.Printf("== Table 5: resurrection experiments (%d faulted runs/app; paper used 400)\n", *n)
 		cfg := experiment.DefaultCampaign(*n, *seed)
+		cfg.ResurrectWorkers = *resWorkers
 		rows := experiment.RunTable5(cfg)
 		fmt.Print(experiment.RenderTable5(rows))
 		for _, w := range experiment.Shortfalls(rows) {
@@ -152,6 +163,105 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "owbench:", err)
 	os.Exit(1)
+}
+
+// --- Perf snapshot (-json): the benchmark trajectory ------------------------
+
+// benchSnapshot is the BENCH_N.json schema (documented in EXPERIMENTS.md).
+// Every number is derived from the deterministic simulation, so the file is
+// a pure function of the seed and worker knobs.
+type benchSnapshot struct {
+	Schema string `json:"schema"`
+	Seed   int64  `json:"seed"`
+	// ResurrectWorkers is the -resurrect-workers knob the snapshot ran
+	// with (0 = NumCPU); it cannot change any metric below — recorded so a
+	// future regression that breaks that invariant is visible.
+	ResurrectWorkers int `json:"resurrect_workers"`
+	// CanonicalWorkers is the fixed width parallel columns render at.
+	CanonicalWorkers int          `json:"canonical_workers"`
+	Benchmarks       []benchEntry `json:"benchmarks"`
+}
+
+type benchEntry struct {
+	Name    string             `json:"name"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// writeSnapshot measures the perf-trajectory scenarios and writes them as
+// one JSON file: the multi-process parallel-resurrection sweep (the ISSUE 3
+// acceptance scenario) and the Table 6 boot/interruption rows.
+func writeSnapshot(path string, seed int64, resWorkers int) error {
+	snap := benchSnapshot{
+		Schema:           "otherworld-bench/1",
+		Seed:             seed,
+		ResurrectWorkers: resWorkers,
+		CanonicalWorkers: resurrect.CanonicalWorkers,
+	}
+
+	rep, err := multiMySQLRecovery(seed, resWorkers)
+	if err != nil {
+		return fmt.Errorf("resurrect-parallel scenario: %w", err)
+	}
+	par := benchEntry{Name: "resurrect-parallel/mysql-x8", Metrics: map[string]float64{
+		"serial-s": rep.Duration.Seconds(),
+	}}
+	for _, w := range []int{1, 2, 4, 8} {
+		par.Metrics[fmt.Sprintf("sched-%dw-s", w)] = rep.ScheduleAt(w).Seconds()
+		par.Metrics[fmt.Sprintf("speedup-%dw-x", w)] = rep.SpeedupAt(w)
+	}
+	snap.Benchmarks = append(snap.Benchmarks, par)
+
+	rows, err := experiment.RunTable6(seed)
+	if err != nil {
+		return fmt.Errorf("table 6: %w", err)
+	}
+	for _, r := range rows {
+		snap.Benchmarks = append(snap.Benchmarks, benchEntry{
+			Name: "table6/" + r.App,
+			Metrics: map[string]float64{
+				"boot-s":                  r.BootTime.Seconds(),
+				"interruption-serial-s":   r.Interruption.Seconds(),
+				"interruption-parallel-s": r.ParallelInterruption.Seconds(),
+			},
+		})
+	}
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// multiMySQLRecovery crashes a machine running eight MySQL servers and
+// returns the resurrection report — the same scenario as
+// BenchmarkResurrectParallel in bench_test.go.
+func multiMySQLRecovery(seed int64, resWorkers int) (*resurrect.Report, error) {
+	opts := core.DefaultOptions()
+	opts.HW = hw.Config{MemoryBytes: 256 << 20, NumCPUs: 2, TLBEntries: 64, WatchdogEnabled: true}
+	opts.CrashRegionMB = 16
+	opts.Seed = seed
+	opts.Resurrection.Workers = resWorkers
+	m, err := core.NewMachine(opts)
+	if err != nil {
+		return nil, err
+	}
+	for j := 0; j < 8; j++ {
+		if _, err := m.Start(fmt.Sprintf("mysqld-%d", j), apps.ProgMySQL); err != nil {
+			return nil, err
+		}
+	}
+	m.Run(200)
+	//owvet:allow errdrop: InjectOops always returns the injected panic; recovery is checked below
+	_ = m.K.InjectOops("bench snapshot")
+	out, err := m.HandleFailure()
+	if err != nil {
+		return nil, err
+	}
+	if out.Result != core.ResultRecovered {
+		return nil, fmt.Errorf("transfer failed: %s", out.Transfer.Reason)
+	}
+	return out.Report, nil
 }
 
 // checkpointComparison measures BLCR-style checkpoints to memory and disk.

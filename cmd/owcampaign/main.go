@@ -5,7 +5,8 @@
 // Usage:
 //
 //	owcampaign [-n perApp] [-seed n] [-apps csv] [-hardening on|off]
-//	           [-nocrc] [-noprotected] [-workers n] [-trace] [-trace-json f]
+//	           [-nocrc] [-noprotected] [-workers n] [-resurrect-workers n]
+//	           [-trace] [-trace-json f]
 //
 // The paper ran 400 faulted experiments per application; -n 400 reproduces
 // that (several CPU-minutes). Smaller -n gives a quick estimate.
@@ -37,6 +38,7 @@ func main() {
 	nocrc := flag.Bool("nocrc", false, "disable record checksums (Section 4 ablation)")
 	noprotected := flag.Bool("noprotected", false, "skip the protected-mode corruption pass")
 	workers := flag.Int("workers", 0, "parallel workers (0 = NumCPU)")
+	resWorkers := flag.Int("resurrect-workers", 0, "per-experiment resurrection pipeline workers (0 = NumCPU); changes only the modeled interruption time")
 	jsonOut := flag.String("json", "", "also write the rows as JSON to this file")
 	showTrace := flag.Bool("trace", false, "print per-application failure attributions from the flight recorder")
 	traceJSON := flag.String("trace-json", "", "write the failure attributions as JSON to this file")
@@ -45,6 +47,7 @@ func main() {
 
 	cfg := experiment.DefaultCampaign(*n, *seed)
 	cfg.Workers = *workers
+	cfg.ResurrectWorkers = *resWorkers
 	cfg.SkipProtected = *noprotected
 	cfg.VerifyCRC = !*nocrc
 	if *appsCSV != "" {

@@ -30,20 +30,22 @@ func main() {
 	faults := flag.Int("faults", 30, "faults per injection burst")
 	protect := flag.Bool("protect", false, "enable user-space protection (Section 4)")
 	noharden := flag.Bool("noharden", false, "disable the Section 6 hardening fixes")
+	resWorkers := flag.Int("resurrect-workers", 0, "resurrection pipeline workers (0 = NumCPU); changes only the modeled interruption time")
 	flag.Parse()
 
-	if err := run(*app, *seed, *faults, *protect, *noharden); err != nil {
+	if err := run(*app, *seed, *faults, *protect, *noharden, *resWorkers); err != nil {
 		fmt.Fprintln(os.Stderr, "owsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(app string, seed int64, faults int, protect, noharden bool) error {
+func run(app string, seed int64, faults int, protect, noharden bool, resWorkers int) error {
 	opts := core.DefaultOptions()
 	opts.HW = hw.Config{MemoryBytes: 256 << 20, NumCPUs: 2, TLBEntries: 64, WatchdogEnabled: true}
 	opts.CrashRegionMB = 16
 	opts.UserSpaceProtection = protect
 	opts.Seed = seed
+	opts.Resurrection.Workers = resWorkers
 	if noharden {
 		opts.Hardening = kernel.NoHardening()
 	}
@@ -115,8 +117,9 @@ func run(app string, seed int64, faults int, protect, noharden bool) error {
 	acct := out.Report.Acct
 	fmt.Printf("[%s] crash kernel read %d KB of main-kernel data (%.0f%% page tables)\n",
 		m.HW.Clock, acct.KernelDataBytes()/1024, 100*acct.PageTableFraction())
-	fmt.Printf("[%s] morphed into main kernel; service interruption %.0fs\n",
-		m.HW.Clock, out.Interruption.Seconds())
+	fmt.Printf("[%s] morphed into main kernel; service interruption %.0fs (%d resurrection workers; serial model %.0fs)\n",
+		m.HW.Clock, out.Interruption.Seconds(),
+		out.Report.Parallel.Workers, out.SerialInterruption.Seconds())
 
 	if err := d.Reattach(m); err != nil {
 		return err

@@ -143,13 +143,40 @@ type FailureOutcome struct {
 	Report *resurrect.Report
 	// Interruption is the virtual time from failure to the machine
 	// running again under the new main kernel (Table 6's third column,
-	// before any service restart costs the workload adds).
+	// before any service restart costs the workload adds). It reflects
+	// the parallel schedule the resurrection engine actually modeled
+	// (Report.Parallel), so it depends on the configured worker count.
 	Interruption time.Duration
+	// SerialInterruption is Interruption corrected to the serial schedule
+	// model (Report.Duration): what the outage would have been with one
+	// worker. Worker-count-independent, and equal to Interruption when
+	// Workers=1. Zero when recovery did not reach resurrection.
+	SerialInterruption time.Duration
 	// Trace is the dead kernel's flight-recorder ring, parsed out of raw
 	// physical memory before any recovery step touched it (nil when
 	// tracing is disabled). It is populated even when the transfer fails,
 	// so post-mortem context survives system-down outcomes too.
 	Trace *trace.Parsed
+}
+
+// InterruptionAt re-evaluates the outage at an arbitrary resurrection
+// worker count: everything outside the resurrection pass (transfer, boot,
+// morph) is serial, so the correction swaps the pass's live schedule for
+// the schedule model at the requested width. It is a pure function of
+// worker-count-independent inputs, letting tables render serial and
+// parallel columns regardless of how wide the live pool was.
+func (fo *FailureOutcome) InterruptionAt(workers int) time.Duration {
+	if fo == nil || fo.Report == nil {
+		return fo.effectiveInterruption()
+	}
+	return fo.Interruption - fo.Report.Parallel.Duration + fo.Report.ScheduleAt(workers)
+}
+
+func (fo *FailureOutcome) effectiveInterruption() time.Duration {
+	if fo == nil {
+		return 0
+	}
+	return fo.Interruption
 }
 
 // NewMachine powers on a machine, cold-boots the main kernel and loads the
@@ -399,6 +426,14 @@ func (m *Machine) HandleFailure() (*FailureOutcome, error) {
 	m.Reboots++
 	out.Result = ResultRecovered
 	out.Interruption = m.HW.Clock.Since(started)
+	if out.Report != nil {
+		// Correct the live (parallel-schedule) outage to the serial model:
+		// only the resurrection pass is parallel, so the difference is
+		// exactly the pass's serial sum minus its live schedule.
+		out.SerialInterruption = out.Interruption - out.Report.Parallel.Duration + out.Report.Duration
+	} else {
+		out.SerialInterruption = out.Interruption
+	}
 	m.LastOutcome = out
 	return out, nil
 }

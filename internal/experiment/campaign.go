@@ -6,8 +6,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"otherworld/internal/kernel"
+	"otherworld/internal/resurrect"
 )
 
 // Table5Row aggregates a campaign for one application into the paper's
@@ -39,6 +41,12 @@ type Table5Row struct {
 	Shortfall int
 	// ProtShortfall is the protected pass's shortfall.
 	ProtShortfall int
+	// MeanInterruption is the mean serial-model outage over the
+	// unprotected pass's successful recoveries (zero if none succeeded).
+	MeanInterruption time.Duration
+	// MeanParallelInterruption is the same mean under the parallel
+	// schedule model at resurrect.CanonicalWorkers.
+	MeanParallelInterruption time.Duration
 	// Attributions tallies every non-success failure mode, aggregated by
 	// structured attribution (stage, resurrection phase, panic kind,
 	// normalized reason) and sorted most-frequent first.
@@ -59,8 +67,13 @@ type CampaignConfig struct {
 	// VerifyCRC enables record checksums (the Section 4 ablation flips
 	// this).
 	VerifyCRC bool
-	// Workers bounds parallelism (NumCPU by default).
+	// Workers bounds experiment-level parallelism (NumCPU by default):
+	// how many whole experiments run concurrently.
 	Workers int
+	// ResurrectWorkers is the per-experiment resurrection pipeline width
+	// (0 = NumCPU). It only changes each experiment's modeled parallel
+	// interruption; every tallied outcome is identical at any width.
+	ResurrectWorkers int
 	// SkipProtected skips the protected-mode corruption sub-campaign.
 	SkipProtected bool
 	// MemoryMB sizes experiment machines.
@@ -103,6 +116,9 @@ type tally struct {
 	success, boot, resurrect, corrupt int
 	structCorrupt                     int
 	attribs                           map[Attribution]int
+	// interruption sums the serial/parallel-model outages over successful
+	// recoveries, for the Table 5 mean-interruption columns.
+	interruption, parInterruption time.Duration
 }
 
 // sortedAttributions flattens the tally's attribution map into a
@@ -177,6 +193,7 @@ func runCampaignPass(cfg CampaignConfig, app string, protection bool, want int, 
 				ecfg.Protection = protection
 				ecfg.Hardening = cfg.Hardening
 				ecfg.VerifyCRC = cfg.VerifyCRC
+				ecfg.ResurrectWorkers = cfg.ResurrectWorkers
 				if cfg.MemoryMB > 0 {
 					ecfg.MemoryMB = cfg.MemoryMB
 				}
@@ -198,6 +215,8 @@ func runCampaignPass(cfg CampaignConfig, app string, protection bool, want int, 
 				switch res.Outcome {
 				case OutcomeSuccess:
 					t.success++
+					t.interruption += res.Interruption
+					t.parInterruption += res.ParallelInterruption
 				case OutcomeBootFailure:
 					t.boot++
 				case OutcomeResurrectFailure:
@@ -262,6 +281,10 @@ func RunTable5(cfg CampaignConfig) []Table5Row {
 			row.ResurrectFail = float64(base.resurrect) / float64(base.n)
 			row.CorruptNoProt = float64(base.corrupt) / float64(base.n)
 		}
+		if base.success > 0 {
+			row.MeanInterruption = base.interruption / time.Duration(base.success)
+			row.MeanParallelInterruption = base.parInterruption / time.Duration(base.success)
+		}
 		if !cfg.SkipProtected {
 			prot := runCampaignPass(cfg, app, true, cfg.PerApp, passSeedSalt(i, 1, passCount))
 			row.ProtN = prot.n
@@ -277,17 +300,22 @@ func RunTable5(cfg CampaignConfig) []Table5Row {
 	return rows
 }
 
-// RenderTable5 formats campaign rows like the paper's Table 5.
+// RenderTable5 formats campaign rows like the paper's Table 5, extended
+// with mean-interruption columns (serial schedule and the parallel schedule
+// at the canonical worker count) over successful recoveries.
 func RenderTable5(rows []Table5Row) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-11s %13s %17s %21s %31s\n",
-		"Application", "Successful", "Failure to boot", "Failure to resurrect", "Data corruption with/without")
-	fmt.Fprintf(&b, "%-11s %13s %17s %21s %31s\n",
-		"", "resurrection", "the crash kernel", "application", "user space protected")
+	fmt.Fprintf(&b, "%-11s %13s %17s %21s %31s %23s\n",
+		"Application", "Successful", "Failure to boot", "Failure to resurrect",
+		"Data corruption with/without", "Mean interruption")
+	fmt.Fprintf(&b, "%-11s %13s %17s %21s %31s %23s\n",
+		"", "resurrection", "the crash kernel", "application", "user space protected",
+		fmt.Sprintf("serial / %dw", resurrect.CanonicalWorkers))
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-11s %12.2f%% %16.2f%% %20.2f%% %14.2f%% / %.2f%%\n",
+		fmt.Fprintf(&b, "%-11s %12.2f%% %16.2f%% %20.2f%% %14.2f%% / %.2f%% %14.0fs / %.0fs\n",
 			r.App, 100*r.Success, 100*r.BootFailure, 100*r.ResurrectFail,
-			100*r.CorruptProt, 100*r.CorruptNoProt)
+			100*r.CorruptProt, 100*r.CorruptNoProt,
+			r.MeanInterruption.Seconds(), r.MeanParallelInterruption.Seconds())
 	}
 	return b.String()
 }

@@ -7,6 +7,7 @@ package experiment
 
 import (
 	"fmt"
+	"time"
 
 	"otherworld/internal/core"
 	"otherworld/internal/faultinject"
@@ -99,6 +100,10 @@ type Config struct {
 	FaultsPerRun int
 	// MemoryMB sizes the experiment machine.
 	MemoryMB int
+	// ResurrectWorkers is the resurrection pipeline's worker-pool width
+	// (0 = NumCPU). The pool only changes the modeled interruption time;
+	// every other result field is byte-identical at any width.
+	ResurrectWorkers int
 }
 
 // DefaultConfig returns the paper's experiment parameters.
@@ -138,6 +143,13 @@ type Result struct {
 	// Trace is the dead kernel's recovered flight-recorder ring (nil
 	// when tracing is disabled or no ring was recovered).
 	Trace *trace.Parsed
+	// Interruption is the serial-model outage of the recovery (zero when
+	// the run never reached a recovery). Worker-count-independent.
+	Interruption time.Duration
+	// ParallelInterruption is the outage under the parallel schedule model
+	// evaluated at resurrect.CanonicalWorkers, so campaign output does not
+	// depend on the machine the campaign ran on.
+	ParallelInterruption time.Duration
 }
 
 // Run executes one complete fault-injection experiment: boot, warm up the
@@ -163,6 +175,7 @@ func Run(cfg Config) Result {
 	opts.UserSpaceProtection = cfg.Protection
 	opts.Hardening = cfg.Hardening
 	opts.Seed = cfg.Seed
+	opts.Resurrection.Workers = cfg.ResurrectWorkers
 
 	m, err := core.NewMachine(opts)
 	if err != nil {
@@ -225,6 +238,12 @@ func Run(cfg Config) Result {
 		out.Detail = newDetail(StageTransfer, "", fo.Transfer.Reason, out.Trace, res.Panic)
 		return out
 	}
+	// Recovery happened: record the outage under both schedule models. Both
+	// are worker-count-independent (the serial correction and the canonical
+	// re-evaluation cancel the live pool width), keeping campaign output
+	// replayable from -seed alone.
+	out.Interruption = fo.SerialInterruption
+	out.ParallelInterruption = fo.InterruptionAt(resurrect.CanonicalWorkers)
 
 	// Locate our application's resurrection report.
 	var found bool

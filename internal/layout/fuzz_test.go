@@ -43,6 +43,74 @@ func FuzzDecodeContext(f *testing.F) {
 	})
 }
 
+// FuzzRecordDecode drives every typed record reader — the full decoder
+// surface the crash kernel exposes to the dead kernel's bytes — with
+// arbitrary memory images. The resurrection scan walks these concurrently,
+// so a panic here is a crash-kernel crash; decoders must return errors, not
+// panic, for any input. Corpus: one well-formed sealed record per type.
+func FuzzRecordDecode(f *testing.F) {
+	g := Globals{Version: 1, ProcListHead: 64, NextPID: 2}
+	p := Proc{PID: 3, Name: "mysqld", Program: "mysqld", CrashProc: "cp"}
+	v := MemRegion{Start: 0x1000, End: 0x3000}
+	fr := FileRec{Path: "/data/t0", Offset: 12}
+	st := SwapTable{}
+	term := Terminal{Rows: 24, Cols: 80}
+	sg := Signals{}
+	sh := Shm{Key: 9, Size: 4096}
+	pp := Pipe{ID: 1}
+	sk := Socket{ID: 2, LocalPort: 3306}
+	cp := CachePage{FileOff: 4096, Bytes: 4096}
+	for _, s := range []struct {
+		t       Type
+		payload []byte
+	}{
+		{TypeGlobals, g.EncodePayload()},
+		{TypeProc, p.EncodePayload()},
+		{TypeMemRegion, v.EncodePayload()},
+		{TypeFile, fr.EncodePayload()},
+		{TypeSwapTable, st.EncodePayload()},
+		{TypeTerminal, term.EncodePayload()},
+		{TypeSignals, sg.EncodePayload()},
+		{TypeShm, sh.EncodePayload()},
+		{TypePipe, pp.EncodePayload()},
+		{TypeSocket, sk.EncodePayload()},
+		{TypeCachePage, cp.EncodePayload()},
+	} {
+		f.Add(Seal(s.t, 0, s.payload), uint8(s.t), true)
+		f.Add(Seal(s.t, 0, s.payload), uint8(s.t), false)
+	}
+	f.Add([]byte{}, uint8(TypeProc), true)
+	f.Add(bytes.Repeat([]byte{0xFF}, 96), uint8(TypeShm), false)
+	f.Fuzz(func(t *testing.T, data []byte, typeSel uint8, crc bool) {
+		m := &memBuf{data: make([]byte, len(data)+64)}
+		copy(m.data, data)
+		switch Type(typeSel % uint8(typeMax)) {
+		case TypeGlobals:
+			_, _ = ReadGlobals(m, 0, crc)
+		case TypeProc:
+			_, _ = ReadProc(m, 0, crc)
+		case TypeMemRegion:
+			_, _ = ReadMemRegion(m, 0, crc)
+		case TypeFile:
+			_, _ = ReadFileRec(m, 0, crc)
+		case TypeSwapTable:
+			_, _ = ReadSwapTable(m, 0, crc)
+		case TypeTerminal:
+			_, _ = ReadTerminal(m, 0, crc)
+		case TypeSignals:
+			_, _ = ReadSignals(m, 0, crc)
+		case TypeShm:
+			_, _ = ReadShm(m, 0, crc)
+		case TypePipe:
+			_, _ = ReadPipe(m, 0, crc)
+		case TypeSocket:
+			_, _ = ReadSocket(m, 0, crc)
+		case TypeCachePage:
+			_, _ = ReadCachePage(m, 0, crc)
+		}
+	})
+}
+
 // FuzzProcDecode exercises the highest-fan-in record decoder.
 func FuzzProcDecode(f *testing.F) {
 	p := Proc{PID: 1, Name: "a", Program: "b", CrashProc: "c"}

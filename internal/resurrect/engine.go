@@ -14,11 +14,17 @@ package resurrect
 import (
 	"errors"
 	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
 	"time"
 
+	"otherworld/internal/disk"
 	"otherworld/internal/kernel"
 	"otherworld/internal/layout"
 	"otherworld/internal/phys"
+	"otherworld/internal/sim"
 	"otherworld/internal/trace"
 )
 
@@ -125,12 +131,18 @@ type Candidate struct {
 	CrashProc string
 }
 
-// Config is the resurrection configuration: which processes to revive.
+// Config is the resurrection configuration: which processes to revive and
+// how wide the scan pool fans out.
 type Config struct {
 	// All resurrects every candidate.
 	All bool
 	// Names lists process names to resurrect when All is false.
 	Names []string
+	// Workers is the scan-pool width (0 = NumCPU). Parallelism never
+	// changes the Report, the Accounting, the new kernel's state or any
+	// rendered table — only the live schedule the machine clock models;
+	// see Report.Fingerprint and ScheduleAt.
+	Workers int
 }
 
 // Wants reports whether the configuration selects the candidate.
@@ -205,8 +217,25 @@ type Report struct {
 	Candidates []Candidate
 	Procs      []ProcReport
 	Acct       Accounting
-	// Duration is the virtual time the resurrection pass consumed.
+	// Duration is the virtual time of the *serial* schedule: prologue
+	// plus the sum of every candidate's scan+install time. It does not
+	// depend on Config.Workers (the live parallel schedule is in
+	// Parallel), so campaigns stay replayable at any pool width.
 	Duration time.Duration
+	// Prologue is the serial lead-in before candidates fan out: trace
+	// salvage, candidate listing, swap-table resolution.
+	Prologue time.Duration
+	// PerCandidate is each selected candidate's scan+install virtual
+	// time, in stable candidate order — the input ScheduleAt replays.
+	PerCandidate []time.Duration
+	// Parallel is the live schedule this pass actually executed. It is
+	// the only worker-count-dependent block in the report and is
+	// excluded from Fingerprint.
+	Parallel ParallelStats
+	// ScanTrace is the merged per-worker scan event sequence (one event
+	// per candidate phase), ordered by candidate-local logical time with
+	// ties broken on candidate PID — identical at any worker count.
+	ScanTrace []trace.Event
 	// Trace is the dead kernel's flight recorder, parsed out of the crash
 	// area's ring sub-region (nil when the engine was given no ring).
 	Trace *trace.Parsed
@@ -329,6 +358,15 @@ func (e *Engine) MainSwapDevice() (devName string, err error) {
 // Run performs the full resurrection pass for the configured processes and
 // returns the report. The crash kernel must already be booted with working
 // memory available (AddFreeFrames).
+//
+// The pass is pipelined (see scan.go): after a serial prologue, the
+// selected candidates fan out over cfg.Workers scan goroutines, each with
+// its own counting reader, Accounting shard and virtual-time ledger; the
+// shards are then merged with a deterministic reduction (stable candidate
+// order, saturating adds) and the plans installed serially. The machine
+// clock advances by the parallel schedule — prologue plus the critical-path
+// maximum over workers — while Report.Duration keeps the serial sum, so
+// every recorded number is identical at any worker count.
 func (e *Engine) Run(cfg Config) *Report {
 	start := e.K.M.Clock.Now()
 	rep := &Report{Acct: Accounting{ByCategory: e.acct.ByCategory}}
@@ -343,186 +381,145 @@ func (e *Engine) Run(cfg Config) *Report {
 	if err != nil && len(cands) == 0 {
 		// Anchor corrupt: every selected process fails.
 		rep.Duration = e.K.M.Clock.Since(start)
+		rep.Prologue = rep.Duration
+		rep.Parallel = ParallelStats{Workers: 1, Duration: rep.Duration}
 		return rep
 	}
 	mainSwapName, _ := e.MainSwapDevice()
-	for _, cand := range cands {
-		if !cfg.Wants(cand) {
-			continue
+	var mainSwap *disk.BlockDevice
+	if mainSwapName != "" {
+		// One shared handle for all workers; BlockDevice serializes
+		// access internally.
+		if dev, derr := e.K.M.Bus.Open(mainSwapName); derr == nil {
+			mainSwap = dev
 		}
-		pr := e.resurrectOne(cand, mainSwapName)
-		rep.Procs = append(rep.Procs, pr)
 	}
+	var selected []Candidate
+	for _, cand := range cands {
+		if cfg.Wants(cand) {
+			selected = append(selected, cand)
+		}
+	}
+	workers := cfg.effectiveWorkers(len(selected))
+	rep.Prologue = e.K.M.Clock.Since(start)
+
+	// Phase A — parallel scan. The dead kernel's memory is quiescent and
+	// the scan is strictly read-only, so candidate i goes to worker
+	// i mod workers and each worker decodes its shard concurrently.
+	plans := make([]*plan, len(selected))
+	shards := make([]*Accounting, workers)
+	events := make([][]trace.Event, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		shards[w] = &Accounting{ByCategory: make(map[string]int64)}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sc := e.newScanner(shards[w], mainSwap)
+			for i := w; i < len(selected); i += workers {
+				plans[i] = sc.scanOne(selected[i])
+			}
+			events[w] = sc.events
+		}(w)
+	}
+	wg.Wait()
+
+	// Deterministic reduction: shard accounting folds in with saturating
+	// adds (order is irrelevant — addition over disjoint reads), and the
+	// per-worker event sequences merge by candidate-local logical time.
+	for _, sh := range shards {
+		e.acct.absorb(sh)
+	}
+	rep.ScanTrace = trace.Merge(events...)
+
+	// Phase B — serial install in stable candidate order. Installs run
+	// against a detached clock so their serially-executed virtual time is
+	// re-attributed to each candidate's span in the parallel schedule
+	// instead of accumulating on the machine clock.
+	liveClock := e.K.M.Clock
+	scratch := sim.NewClock()
+	e.K.M.Clock = scratch
+	perCand := make([]time.Duration, len(selected))
+	for i, pl := range plans {
+		m0 := scratch.Now()
+		rep.Procs = append(rep.Procs, e.installOne(pl))
+		perCand[i] = pl.scanDur + scratch.Since(m0)
+	}
+	e.K.M.Clock = liveClock
+
 	rep.Acct = e.acct
-	rep.Duration = e.K.M.Clock.Since(start)
+	rep.PerCandidate = perCand
+	spans := shardSpans(perCand, workers)
+	critical := maxSpan(spans)
+	// The interruption clock models the parallel schedule: prologue (already
+	// on the clock) plus the slowest worker. The serial morph epilogue is
+	// charged by core after Run returns.
+	e.K.M.Clock.Advance(critical)
+	rep.Duration = rep.Prologue + sumSpans(spans)
+	rep.Parallel = ParallelStats{
+		Workers:      workers,
+		PerWorker:    spans,
+		CriticalPath: critical,
+		Duration:     e.K.M.Clock.Since(start),
+	}
 	return rep
 }
 
-// resurrectOne rebuilds a single process. Failures of memory-critical
-// structures abort resurrection (Table 5's "failure to resurrect
-// application"); failures of peripheral resources set bits in the missing
-// mask and defer to the crash procedure (Table 1).
-func (e *Engine) resurrectOne(cand Candidate, mainSwapName string) ProcReport {
-	pr := ProcReport{Candidate: cand}
-	// The timeline recorder: each step carries the bytes read from the
-	// dead kernel and the virtual time spent since the previous step.
-	markBytes := e.acct.total()
-	markTime := e.K.M.Clock.Now()
-	step := func(ph Phase, pages int, err error) {
-		st := PhaseStep{
-			Phase:    ph,
-			Pages:    pages,
-			Bytes:    e.acct.total() - markBytes,
-			Duration: e.K.M.Clock.Since(markTime),
-		}
-		if err != nil {
-			st.Err = err.Error()
-		}
-		pr.Timeline = append(pr.Timeline, st)
-		markBytes += st.Bytes
-		markTime += st.Duration
+// satAdd is saturating int64 addition, used when folding accounting shards
+// so a (hypothetical) overflow clamps instead of wrapping negative.
+func satAdd(a, b int64) int64 {
+	if b > 0 && a > math.MaxInt64-b {
+		return math.MaxInt64
 	}
-	fail := func(ph Phase, err error) ProcReport {
-		step(ph, 0, err)
-		pr.Outcome = OutcomeFailed
-		pr.Err = err
-		return pr
+	if b < 0 && a < math.MinInt64-b {
+		return math.MinInt64
 	}
+	return a + b
+}
 
-	old, err := layout.ReadProc(e.rd.at(CatProc), cand.Addr, e.VerifyCRC)
-	if err != nil {
-		return fail(PhaseParse, fmt.Errorf("process descriptor: %w", err))
+// absorb folds one worker's accounting shard into a.
+func (a *Accounting) absorb(s *Accounting) {
+	for cat, v := range s.ByCategory {
+		a.ByCategory[cat] = satAdd(a.ByCategory[cat], v)
 	}
-	e.parseTime()
+}
 
-	if kernel.LookupProgram(old.Program) == nil {
-		return fail(PhaseParse, fmt.Errorf("program %q not on disk", old.Program))
+// Fingerprint renders every worker-count-independent part of the report as
+// a deterministic string: the determinism tests assert it is byte-identical
+// at Workers=1 and Workers=N. Parallel (the live schedule) and Trace (the
+// dead ring, compared separately) are deliberately excluded.
+func (r *Report) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "candidates=%d\n", len(r.Candidates))
+	for _, c := range r.Candidates {
+		fmt.Fprintf(&b, "cand pid=%d name=%s prog=%s addr=%#x crashproc=%s\n",
+			c.PID, c.Name, c.Program, c.Addr, c.CrashProc)
 	}
-
-	np, err := e.K.CreateProcessForResurrection(old.Name, old.Program)
-	if err != nil {
-		return fail(PhaseParse, fmt.Errorf("create process: %w", err))
-	}
-	pr.NewPID = np.PID
-
-	// Saved hardware context from the dead kernel stack (Section 3.2).
-	ctx, ok, err := layout.ReadContext(e.rd.at(CatContext), old.KStack)
-	if err != nil || !ok || !ctx.Saved {
-		return fail(PhaseParse, fmt.Errorf("saved context missing or unreadable on kernel stack %#x", old.KStack))
-	}
-	e.parseTime()
-	step(PhaseParse, 0, nil)
-
-	// Open files first so file-backed regions can reference the new
-	// records; also flush the dead kernel's dirty page-cache pages.
-	fileMap, flushed, err := e.restoreFiles(np, old)
-	if err != nil {
-		if layout.IsCorruption(err) {
-			pr.Missing |= kernel.ResFiles
-			step(PhaseFileReopen, 0, err) // degraded, not fatal
-		} else {
-			return fail(PhaseFileReopen, fmt.Errorf("restore files: %w", err))
-		}
-	} else {
-		step(PhaseFileReopen, 0, nil)
-	}
-	pr.DirtyFlushed = flushed
-	step(PhaseFlush, flushed, nil)
-
-	// Memory regions and page contents — corruption here is fatal: a
-	// process without its memory cannot run a crash procedure either.
-	if err := e.restoreRegions(np, old, fileMap); err != nil {
-		return fail(PhaseRegions, fmt.Errorf("restore regions: %w", err))
-	}
-	step(PhaseRegions, 0, nil)
-
-	swapMark := e.acct.ByCategory[CatSwapData]
-	copied, restaged, err := e.restorePages(np, old, mainSwapName)
-	pr.PagesCopied, pr.PagesRestaged = copied, restaged
-	swapBytes := e.acct.ByCategory[CatSwapData] - swapMark
-	// restorePages is one pass over both resident and swapped pages;
-	// split its accounting so Table 4 sees page copy and swap re-stage
-	// as separate timeline entries. An error is attributed to the
-	// re-stage phase once swap reading had begun.
-	totalDelta := e.acct.total() - markBytes
-	dur := e.K.M.Clock.Since(markTime)
-	pc := PhaseStep{Phase: PhasePageCopy, Pages: copied, Bytes: totalDelta - swapBytes, Duration: dur}
-	sr := PhaseStep{Phase: PhaseSwapRestage, Pages: restaged, Bytes: swapBytes}
-	markBytes += totalDelta
-	markTime += dur
-	if err != nil {
-		werr := fmt.Errorf("restore pages: %w", err)
-		if swapBytes > 0 {
-			sr.Err = werr.Error()
-			pr.Timeline = append(pr.Timeline, pc, sr)
-		} else {
-			pc.Err = werr.Error()
-			pr.Timeline = append(pr.Timeline, pc)
-		}
-		pr.Outcome = OutcomeFailed
-		pr.Err = werr
-		return pr
-	}
-	pr.Timeline = append(pr.Timeline, pc, sr)
-
-	// Shared memory (fatal on corruption: it is memory).
-	if err := e.restoreShm(np, old); err != nil {
-		return fail(PhaseShm, fmt.Errorf("restore shm: %w", err))
-	}
-	step(PhaseShm, 0, nil)
-
-	// Terminal, signals: peripheral; corruption sets missing bits. Only
-	// physical terminals are restorable (Section 3.3); pseudo terminals
-	// are reported through the bitmask.
-	if old.Terminal != 0 {
-		if err := e.restoreTerminal(np, old); err != nil {
-			pr.Missing |= kernel.ResTerminal
-			step(PhaseTerminal, 0, err)
-		} else {
-			step(PhaseTerminal, 0, nil)
+	for _, p := range r.Procs {
+		fmt.Fprintf(&b, "proc pid=%d outcome=%s newpid=%d missing=%v cpcalled=%v copied=%d restaged=%d flushed=%d err=%v\n",
+			p.Candidate.PID, p.Outcome, p.NewPID, p.Missing, p.CrashProcCalled,
+			p.PagesCopied, p.PagesRestaged, p.DirtyFlushed, p.Err)
+		for _, st := range p.Timeline {
+			fmt.Fprintf(&b, "  phase=%s pages=%d bytes=%d dur=%v err=%q\n",
+				st.Phase, st.Pages, st.Bytes, st.Duration, st.Err)
 		}
 	}
-	if old.Signals != 0 {
-		// A corrupted signal table degrades to default handlers; it is
-		// not worth failing the resurrection over.
-		step(PhaseSignals, 0, e.restoreSignals(np, old))
+	cats := make([]string, 0, len(r.Acct.ByCategory))
+	for cat := range r.Acct.ByCategory {
+		cats = append(cats, cat)
 	}
-
-	// Pipes and sockets: the prototype reports them as missing
-	// (Section 3.3); with the Section 7 extension enabled they are
-	// restored — except pipes caught mid-operation, whose locked
-	// semaphore marks them inconsistent.
-	var ipcErr error
-	if e.ResurrectIPC {
-		if err := e.restorePipes(np, old); err != nil {
-			pr.Missing |= kernel.ResPipes
-			ipcErr = err
-		}
-		if err := e.restoreSockets(np, old); err != nil {
-			pr.Missing |= kernel.ResSockets
-			if ipcErr == nil {
-				ipcErr = err
-			}
-		}
-	} else {
-		if has, _ := e.hasIPC(old.Pipes, layout.TypePipe); has {
-			pr.Missing |= kernel.ResPipes
-		}
-		if has, _ := e.hasIPC(old.Sockets, layout.TypeSocket); has {
-			pr.Missing |= kernel.ResSockets
-		}
+	sort.Strings(cats)
+	for _, cat := range cats {
+		fmt.Fprintf(&b, "acct %s=%d\n", cat, r.Acct.ByCategory[cat])
 	}
-	step(PhaseIPC, 0, ipcErr)
-
-	if err := e.K.InstallContext(np, ctx); err != nil {
-		return fail(PhaseContext, fmt.Errorf("install context: %w", err))
+	fmt.Fprintf(&b, "prologue=%v duration=%v\n", r.Prologue, r.Duration)
+	for i, d := range r.PerCandidate {
+		fmt.Fprintf(&b, "percand[%d]=%v\n", i, d)
 	}
-	step(PhaseContext, 0, nil)
-
-	// Table 1 policy.
-	pr = e.applyPolicy(np, cand, pr)
-	step(PhasePolicy, 0, pr.Err)
-	return pr
+	for _, ev := range r.ScanTrace {
+		fmt.Fprintf(&b, "ev %v\n", ev)
+	}
+	return b.String()
 }
 
 // applyPolicy runs the crash procedure (if registered) and decides the

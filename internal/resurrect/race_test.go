@@ -1,0 +1,115 @@
+package resurrect_test
+
+import (
+	"fmt"
+	"testing"
+
+	"otherworld/internal/core"
+	"otherworld/internal/hw"
+	"otherworld/internal/resurrect"
+)
+
+// These tests exist for the -race pass (make race / make verify): the scan
+// phase fans candidates out to concurrent workers that all read the dead
+// kernel's memory and the shared swap device, so the detector sees the real
+// worker pool, not a mock.
+
+// raceMachine builds a machine with n cheap processes and the resurrection
+// pool pinned to the given width.
+func raceMachine(t *testing.T, n, workers int) *core.Machine {
+	t.Helper()
+	opts := core.DefaultOptions()
+	opts.HW = hw.Config{MemoryBytes: 128 << 20, NumCPUs: 2, TLBEntries: 64, WatchdogEnabled: true}
+	opts.CrashRegionMB = 16
+	opts.Seed = 77
+	opts.Resurrection.Workers = workers
+	m, err := core.NewMachine(opts)
+	if err != nil {
+		t.Fatalf("NewMachine: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := m.Start(fmt.Sprintf("p%d", i), "t1-plain"); err != nil {
+			t.Fatalf("start p%d: %v", i, err)
+		}
+	}
+	m.Run(30)
+	return m
+}
+
+// TestWorkerPoolOverlappingCandidates runs more candidates than workers so
+// every worker scans several in sequence while its peers are mid-candidate
+// — the overlap that would expose an unsharded counter or reader.
+func TestWorkerPoolOverlappingCandidates(t *testing.T) {
+	m := raceMachine(t, 8, 3)
+	out := recoverOutcome(t, m)
+	if out.Report.Parallel.Workers != 3 {
+		t.Fatalf("pool width = %d, want 3", out.Report.Parallel.Workers)
+	}
+	if got := out.Report.Succeeded(); got != 8 {
+		t.Fatalf("succeeded = %d, want 8", got)
+	}
+}
+
+// TestWorkerPoolCorruptedPageTable corrupts one candidate's page directory
+// before the crash: under -race this exercises the scan error paths while
+// other workers are still copying pages, and the damage must stay contained
+// to the corrupted process at any pool width.
+func TestWorkerPoolCorruptedPageTable(t *testing.T) {
+	run := func(workers int) *resurrect.Report {
+		m := raceMachine(t, 6, workers)
+		victim := m.K.Procs()[2]
+		if err := m.HW.Mem.WriteU64(victim.D.PageDir, 0xDEADBEEF); err != nil {
+			t.Fatal(err)
+		}
+		return recoverOutcome(t, m).Report
+	}
+	rep4 := run(4)
+	failed := 0
+	for _, pr := range rep4.Procs {
+		if pr.Outcome == resurrect.OutcomeFailed {
+			failed++
+		}
+	}
+	if failed != 1 || rep4.Succeeded() != 5 {
+		t.Fatalf("failed=%d succeeded=%d, want 1/5", failed, rep4.Succeeded())
+	}
+	// The failure handling itself must stay deterministic across widths.
+	if fp1, fp4 := run(1).Fingerprint(), rep4.Fingerprint(); fp1 != fp4 {
+		t.Fatalf("corrupted-candidate fingerprint differs between Workers=1 and Workers=4")
+	}
+}
+
+// TestConcurrentRecoveries runs whole machines' recoveries in parallel,
+// each with its own multi-worker resurrection pool — pool-inside-pool, as a
+// campaign with ResurrectWorkers set produces. Machines are built serially
+// (the helper uses t.Fatal); only the recovery runs concurrently.
+func TestConcurrentRecoveries(t *testing.T) {
+	machines := make([]*core.Machine, 4)
+	for i := range machines {
+		machines[i] = raceMachine(t, 5, 4)
+	}
+	done := make(chan error, len(machines))
+	for _, m := range machines {
+		go func(m *core.Machine) {
+			if err := m.K.InjectOops("race"); err == nil {
+				done <- fmt.Errorf("InjectOops returned nil")
+				return
+			}
+			out, err := m.HandleFailure()
+			if err != nil {
+				done <- err
+				return
+			}
+			if out.Result != core.ResultRecovered {
+				done <- fmt.Errorf("transfer failed: %s", out.Transfer.Reason)
+				return
+			}
+			done <- nil
+		}(m)
+	}
+	for range machines {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

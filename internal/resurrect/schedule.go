@@ -1,0 +1,106 @@
+package resurrect
+
+import (
+	"runtime"
+	"time"
+)
+
+// CanonicalWorkers is the worker count every *rendered* parallel number is
+// derived at (Table 6's parallel column, the campaign's mean-interruption
+// column, owbench snapshots). The live engine may fan out over any number
+// of goroutines — NumCPU by default — but reported schedules are always
+// re-evaluated at this fixed width through Report.ScheduleAt, so output is
+// identical on a 2-core CI runner and a 64-core workstation.
+const CanonicalWorkers = 4
+
+// effectiveWorkers resolves the configured worker count: 0 (or negative)
+// means NumCPU, and the pool is never wider than the candidate set (extra
+// workers would only sit idle and inflate bookkeeping).
+func (c Config) effectiveWorkers(candidates int) int {
+	w := c.Workers
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	if candidates > 0 && w > candidates {
+		w = candidates
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ParallelStats describes the live parallel schedule one Run executed: how
+// wide the pool was and what the modeled wall-clock of that schedule is.
+// Everything here depends on Config.Workers, which is why the determinism
+// fingerprint (Report.Fingerprint) excludes this block — the rest of the
+// Report must be byte-identical at Workers=1 and Workers=N.
+type ParallelStats struct {
+	// Workers is the resolved pool width this pass ran with.
+	Workers int
+	// PerWorker is each worker's summed per-candidate virtual time under
+	// the deterministic round-robin sharding.
+	PerWorker []time.Duration
+	// CriticalPath is the slowest worker's total — the parallel phase's
+	// modeled duration.
+	CriticalPath time.Duration
+	// Duration is the virtual time the whole pass consumed at this width:
+	// serial prologue + critical path. This is what the machine clock
+	// advanced during Run.
+	Duration time.Duration
+}
+
+// shardSpans distributes per-candidate durations over workers with the
+// deterministic round-robin rule (candidate i goes to worker i mod w, in
+// stable candidate order) and returns each worker's total.
+func shardSpans(perCandidate []time.Duration, workers int) []time.Duration {
+	if workers < 1 {
+		workers = 1
+	}
+	spans := make([]time.Duration, workers)
+	for i, d := range perCandidate {
+		spans[i%workers] += d
+	}
+	return spans
+}
+
+func maxSpan(spans []time.Duration) time.Duration {
+	var m time.Duration
+	for _, d := range spans {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func sumSpans(spans []time.Duration) time.Duration {
+	var s time.Duration
+	for _, d := range spans {
+		s += d
+	}
+	return s
+}
+
+// ScheduleAt evaluates the parallel schedule model at an arbitrary worker
+// count without re-running anything: serial prologue plus the critical-path
+// maximum over round-robin shards of the stored per-candidate durations.
+// It is a pure function of worker-count-independent inputs, so tables can
+// render a parallel column at CanonicalWorkers no matter how wide the live
+// pool was.
+func (r *Report) ScheduleAt(workers int) time.Duration {
+	if workers < 1 {
+		workers = 1
+	}
+	return r.Prologue + maxSpan(shardSpans(r.PerCandidate, workers))
+}
+
+// SpeedupAt returns the modeled interruption speedup of the resurrection
+// pass at the given width versus the serial schedule (Report.Duration).
+func (r *Report) SpeedupAt(workers int) float64 {
+	par := r.ScheduleAt(workers)
+	if par <= 0 {
+		return 1
+	}
+	return float64(r.Duration) / float64(par)
+}

@@ -72,12 +72,17 @@ const (
 	// KindPanic is the kernel failure context: CPU, PID, PC of the
 	// failing thread, A/B packed via PackPanic, Note = panic reason.
 	KindPanic
+	// KindResurrect is a crash-kernel resurrection phase event: PID is the
+	// dead process being scanned, Seq/PC its candidate-local logical time
+	// (the worker ledger offset), A = the resurrect.Phase, B = bytes read
+	// in that phase, Note = the phase name.
+	KindResurrect
 	kindMax
 )
 
 var kindNames = [...]string{
 	"invalid", "boot", "sched", "counters",
-	"fault-inject", "fault-manifest", "panic",
+	"fault-inject", "fault-manifest", "panic", "resurrect",
 }
 
 func (k Kind) String() string {
@@ -345,6 +350,25 @@ func Parse(m MemoryReader, region phys.Region) *Parsed {
 	}
 	sort.Slice(p.Events, func(i, j int) bool { return p.Events[i].Seq < p.Events[j].Seq })
 	return p
+}
+
+// Merge combines per-worker event sequences into one deterministic stream,
+// ordered by logical time (Seq) with a tie-break on candidate PID. The sort
+// is stable and each input sequence is internally ordered, so the merged
+// order is independent of how the sequences were sharded across workers —
+// the property the resurrection engine's determinism golden relies on.
+func Merge(seqs ...[]Event) []Event {
+	var out []Event
+	for _, s := range seqs {
+		out = append(out, s...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Seq != out[j].Seq {
+			return out[i].Seq < out[j].Seq
+		}
+		return out[i].PID < out[j].PID
+	})
+	return out
 }
 
 func allZero(b []byte) bool {

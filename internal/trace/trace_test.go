@@ -181,3 +181,40 @@ func TestFramesFor(t *testing.T) {
 		t.Fatalf("FramesFor(%d) = %d", perFrame+1, got)
 	}
 }
+
+func TestMergeOrdersByLogicalTimeThenPID(t *testing.T) {
+	// Two workers' sequences, already internally ordered by logical time.
+	w0 := []Event{
+		{Seq: 0, PID: 1, Kind: KindResurrect, Note: "parse"},
+		{Seq: 10, PID: 1, Kind: KindResurrect, Note: "page-copy"},
+		{Seq: 0, PID: 3, Kind: KindResurrect, Note: "parse"},
+	}
+	w1 := []Event{
+		{Seq: 0, PID: 2, Kind: KindResurrect, Note: "parse"},
+		{Seq: 10, PID: 2, Kind: KindResurrect, Note: "page-copy"},
+	}
+	got := Merge(w0, w1)
+	want := []struct {
+		seq uint64
+		pid uint32
+	}{{0, 1}, {0, 2}, {0, 3}, {10, 1}, {10, 2}}
+	if len(got) != len(want) {
+		t.Fatalf("merged %d events, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		if got[i].Seq != w.seq || got[i].PID != w.pid {
+			t.Fatalf("merged[%d] = seq %d pid %d, want seq %d pid %d",
+				i, got[i].Seq, got[i].PID, w.seq, w.pid)
+		}
+	}
+	// Sharding the same events differently cannot change the merge.
+	if alt := Merge(w1, w0); len(alt) != len(got) {
+		t.Fatal("merge depends on shard order")
+	} else {
+		for i := range alt {
+			if alt[i] != got[i] {
+				t.Fatalf("merge depends on shard order at %d", i)
+			}
+		}
+	}
+}
