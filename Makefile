@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race fuzz-short verify bench campaign
+.PHONY: build test vet lint race fuzz-short owstat-smoke verify bench campaign
 
 build:
 	$(GO) build ./...
@@ -31,9 +31,20 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz FuzzRecordDecode -fuzztime 10s ./internal/layout
 	$(GO) test -run '^$$' -fuzz FuzzTraceParse -fuzztime 10s ./internal/trace
 
+# owstat-smoke drives the metrics plane end to end at the CLI surface:
+# owsim emits a snapshot, owstat renders it, and a self-diff must report
+# zero deltas (any nondeterminism in render/diff shows up here first).
+# The snapshot lands in .artifacts/ so CI can upload it.
+owstat-smoke: build
+	mkdir -p .artifacts
+	$(GO) run ./cmd/owsim -app vi -seed 7 -metrics-json .artifacts/metrics.json >/dev/null
+	$(GO) run ./cmd/owstat render .artifacts/metrics.json >/dev/null
+	$(GO) run ./cmd/owstat diff .artifacts/metrics.json .artifacts/metrics.json | grep -q identical
+
 # verify is the pre-merge gate: build, vet, owvet lint, full tests, race
-# pass, and a short fuzz burst over the crash-kernel decoder surface.
-verify: build vet lint test race fuzz-short
+# pass, a short fuzz burst over the crash-kernel decoder surface, and the
+# owstat metrics smoke check.
+verify: build vet lint test race fuzz-short owstat-smoke
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

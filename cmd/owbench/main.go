@@ -19,12 +19,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"otherworld/internal/apps"
 	"otherworld/internal/core"
 	"otherworld/internal/experiment"
 	"otherworld/internal/hw"
 	"otherworld/internal/kernel"
+	"otherworld/internal/metrics"
 	"otherworld/internal/resurrect"
 )
 
@@ -41,14 +44,41 @@ func main() {
 	showTrace := flag.Bool("trace", false, "print table-5 failure attributions from the flight recorder")
 	traceJSON := flag.String("trace-json", "", "write table-5 failure attributions as JSON to this file")
 	resWorkers := flag.Int("resurrect-workers", 0, "resurrection pipeline workers for campaigns (0 = NumCPU); changes only the modeled interruption time")
-	jsonOut := flag.String("json", "", "write a perf snapshot (per-benchmark custom metrics, seed, workers) as JSON to this file and exit; schema in EXPERIMENTS.md")
+	jsonOut := flag.String("json", "", "write a perf snapshot (per-benchmark custom metrics, seed, workers, metrics snapshot) as JSON to this file and exit; schema in EXPERIMENTS.md")
+	showMetrics := flag.Bool("metrics", false, "print the bench scenario's final metrics snapshot and exit")
+	metricsJSON := flag.String("metrics-json", "", "write the bench scenario's metrics snapshot (otherworld-metrics/1) to this file and exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	flag.Parse()
 
-	if *jsonOut != "" {
-		if err := writeSnapshot(*jsonOut, *seed, *resWorkers); err != nil {
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
 			fatal(err)
 		}
-		fmt.Println("perf snapshot written to", *jsonOut)
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
+
+	if *jsonOut != "" || *showMetrics || *metricsJSON != "" {
+		if err := benchSnapshotMode(*jsonOut, *seed, *resWorkers, *showMetrics, *metricsJSON); err != nil {
+			fatal(err)
+		}
 		return
 	}
 	if !*all && *table == 0 && !*checkpoint && !*ablation && !*compare && !*scaling {
@@ -170,6 +200,15 @@ func fatal(err error) {
 // benchSnapshot is the BENCH_N.json schema (documented in EXPERIMENTS.md).
 // Every number is derived from the deterministic simulation, so the file is
 // a pure function of the seed and worker knobs.
+//
+// Schema history: otherworld-bench/1 had no Metrics field; /2 embeds the
+// bench scenario's final otherworld-metrics/1 snapshot. readSnapshot
+// accepts both, so the checked-in BENCH_3.json (a /1 file) stays readable.
+const (
+	benchSchemaV1 = "otherworld-bench/1"
+	benchSchemaV2 = "otherworld-bench/2"
+)
+
 type benchSnapshot struct {
 	Schema string `json:"schema"`
 	Seed   int64  `json:"seed"`
@@ -180,6 +219,27 @@ type benchSnapshot struct {
 	// CanonicalWorkers is the fixed width parallel columns render at.
 	CanonicalWorkers int          `json:"canonical_workers"`
 	Benchmarks       []benchEntry `json:"benchmarks"`
+	// Metrics is the bench scenario machine's final metrics snapshot
+	// (schema /2 and later). Its logical_now_ns is normalized to zero —
+	// the one worker-schedule-dependent field, excluded here for the same
+	// reason Fingerprint excludes it: the file must stay a pure function
+	// of the seed at any -resurrect-workers width.
+	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
+}
+
+// readSnapshot decodes a BENCH_N.json file, accepting every schema version
+// this binary has ever written.
+func readSnapshot(data []byte) (*benchSnapshot, error) {
+	var s benchSnapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, err
+	}
+	switch s.Schema {
+	case benchSchemaV1, benchSchemaV2:
+		return &s, nil
+	default:
+		return nil, fmt.Errorf("unknown bench snapshot schema %q", s.Schema)
+	}
 }
 
 type benchEntry struct {
@@ -187,20 +247,59 @@ type benchEntry struct {
 	Metrics map[string]float64 `json:"metrics"`
 }
 
-// writeSnapshot measures the perf-trajectory scenarios and writes them as
-// one JSON file: the multi-process parallel-resurrection sweep (the ISSUE 3
-// acceptance scenario) and the Table 6 boot/interruption rows.
-func writeSnapshot(path string, seed int64, resWorkers int) error {
-	snap := benchSnapshot{
-		Schema:           "otherworld-bench/1",
+// benchSnapshotMode serves the three snapshot-flavored flags from ONE run
+// of the bench scenario: -json (the BENCH_N.json file), -metrics (render
+// the machine's registry), -metrics-json (the owstat-consumable file).
+func benchSnapshotMode(jsonPath string, seed int64, resWorkers int, show bool, metricsPath string) error {
+	snap, msnap, err := buildSnapshot(seed, resWorkers)
+	if err != nil {
+		return err
+	}
+	if show {
+		fmt.Printf("bench scenario metrics (%d series):\n", len(msnap.Points))
+		if err := msnap.RenderTable(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if metricsPath != "" {
+		data, err := msnap.EncodeJSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(metricsPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Println("metrics snapshot written to", metricsPath)
+	}
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("perf snapshot written to", jsonPath)
+	}
+	return nil
+}
+
+// buildSnapshot measures the perf-trajectory scenarios and assembles the
+// BENCH_N snapshot: the multi-process parallel-resurrection sweep (the
+// ISSUE 3 acceptance scenario) and the Table 6 boot/interruption rows,
+// plus — since schema /2 — the scenario machine's metrics snapshot. The
+// un-normalized metrics snapshot is returned separately for -metrics.
+func buildSnapshot(seed int64, resWorkers int) (*benchSnapshot, *metrics.Snapshot, error) {
+	snap := &benchSnapshot{
+		Schema:           benchSchemaV2,
 		Seed:             seed,
 		ResurrectWorkers: resWorkers,
 		CanonicalWorkers: resurrect.CanonicalWorkers,
 	}
 
-	rep, err := multiMySQLRecovery(seed, resWorkers)
+	rep, m, err := multiMySQLRecovery(seed, resWorkers)
 	if err != nil {
-		return fmt.Errorf("resurrect-parallel scenario: %w", err)
+		return nil, nil, fmt.Errorf("resurrect-parallel scenario: %w", err)
 	}
 	par := benchEntry{Name: "resurrect-parallel/mysql-x8", Metrics: map[string]float64{
 		"serial-s": rep.Duration.Seconds(),
@@ -213,7 +312,7 @@ func writeSnapshot(path string, seed int64, resWorkers int) error {
 
 	rows, err := experiment.RunTable6(seed)
 	if err != nil {
-		return fmt.Errorf("table 6: %w", err)
+		return nil, nil, fmt.Errorf("table 6: %w", err)
 	}
 	for _, r := range rows {
 		snap.Benchmarks = append(snap.Benchmarks, benchEntry{
@@ -226,17 +325,18 @@ func writeSnapshot(path string, seed int64, resWorkers int) error {
 		})
 	}
 
-	data, err := json.MarshalIndent(snap, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	msnap := m.MetricsSnapshot()
+	embedded := *msnap
+	embedded.LogicalNowNS = 0 // worker-schedule-dependent; see the field doc
+	snap.Metrics = &embedded
+	return snap, msnap, nil
 }
 
 // multiMySQLRecovery crashes a machine running eight MySQL servers and
-// returns the resurrection report — the same scenario as
-// BenchmarkResurrectParallel in bench_test.go.
-func multiMySQLRecovery(seed int64, resWorkers int) (*resurrect.Report, error) {
+// returns the resurrection report plus the recovered machine (its registry
+// now holds the full crash-and-resurrect trajectory) — the same scenario
+// as BenchmarkResurrectParallel in bench_test.go.
+func multiMySQLRecovery(seed int64, resWorkers int) (*resurrect.Report, *core.Machine, error) {
 	opts := core.DefaultOptions()
 	opts.HW = hw.Config{MemoryBytes: 256 << 20, NumCPUs: 2, TLBEntries: 64, WatchdogEnabled: true}
 	opts.CrashRegionMB = 16
@@ -244,11 +344,11 @@ func multiMySQLRecovery(seed int64, resWorkers int) (*resurrect.Report, error) {
 	opts.Resurrection.Workers = resWorkers
 	m, err := core.NewMachine(opts)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	for j := 0; j < 8; j++ {
 		if _, err := m.Start(fmt.Sprintf("mysqld-%d", j), apps.ProgMySQL); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	m.Run(200)
@@ -256,12 +356,12 @@ func multiMySQLRecovery(seed int64, resWorkers int) (*resurrect.Report, error) {
 	_ = m.K.InjectOops("bench snapshot")
 	out, err := m.HandleFailure()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if out.Result != core.ResultRecovered {
-		return nil, fmt.Errorf("transfer failed: %s", out.Transfer.Reason)
+		return nil, nil, fmt.Errorf("transfer failed: %s", out.Transfer.Reason)
 	}
-	return out.Report, nil
+	return out.Report, m, nil
 }
 
 // checkpointComparison measures BLCR-style checkpoints to memory and disk.

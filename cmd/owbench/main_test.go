@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"otherworld/internal/metrics"
+)
+
+// TestReadSnapshotCompatV1 pins backward compatibility: the checked-in
+// BENCH_3.json predates the metrics embedding (schema /1) and must keep
+// decoding after the bump to /2.
+func TestReadSnapshotCompatV1(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_3.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := readSnapshot(data)
+	if err != nil {
+		t.Fatalf("v1 snapshot no longer decodes: %v", err)
+	}
+	if s.Schema != benchSchemaV1 {
+		t.Fatalf("schema = %q, want %q", s.Schema, benchSchemaV1)
+	}
+	if s.Metrics != nil {
+		t.Fatalf("v1 file decoded with a metrics snapshot: %+v", s.Metrics)
+	}
+	if len(s.Benchmarks) == 0 || s.Seed != 20100413 {
+		t.Fatalf("v1 payload mangled: seed %d, %d benchmarks", s.Seed, len(s.Benchmarks))
+	}
+	if s.Benchmarks[0].Name != "resurrect-parallel/mysql-x8" {
+		t.Fatalf("benchmark order changed: %q", s.Benchmarks[0].Name)
+	}
+}
+
+func TestReadSnapshotRejectsUnknownSchema(t *testing.T) {
+	if _, err := readSnapshot([]byte(`{"schema":"otherworld-bench/99"}`)); err == nil {
+		t.Fatal("unknown schema accepted")
+	}
+}
+
+// TestBuildSnapshotV2 runs the real bench scenario once and checks the /2
+// shape: the old fields are still there, the embedded metrics snapshot
+// carries the resurrection counters, and its logical stamp is normalized
+// so the file stays a pure function of the seed at any worker width.
+func TestBuildSnapshotV2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench scenario in -short mode")
+	}
+	snap, msnap, err := buildSnapshot(20100413, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Schema != benchSchemaV2 {
+		t.Fatalf("schema = %q", snap.Schema)
+	}
+	if len(snap.Benchmarks) == 0 {
+		t.Fatal("no benchmarks")
+	}
+	if snap.Metrics == nil || snap.Metrics.Schema != metrics.SchemaVersion {
+		t.Fatalf("embedded metrics = %+v", snap.Metrics)
+	}
+	if snap.Metrics.LogicalNowNS != 0 {
+		t.Fatalf("embedded logical_now_ns = %d, want normalized 0", snap.Metrics.LogicalNowNS)
+	}
+	if p := snap.Metrics.Get("resurrect_runs_total", nil); p == nil || p.Value != 1 {
+		t.Fatalf("resurrect_runs_total = %+v", p)
+	}
+	// The un-normalized snapshot for -metrics keeps the live stamp.
+	if msnap.LogicalNowNS == 0 {
+		t.Fatal("live snapshot lost its logical stamp")
+	}
+}

@@ -6,7 +6,7 @@
 //
 //	owcampaign [-n perApp] [-seed n] [-apps csv] [-hardening on|off]
 //	           [-nocrc] [-noprotected] [-workers n] [-resurrect-workers n]
-//	           [-trace] [-trace-json f]
+//	           [-trace] [-trace-json f] [-metrics] [-metrics-json f]
 //
 // The paper ran 400 faulted experiments per application; -n 400 reproduces
 // that (several CPU-minutes). Smaller -n gives a quick estimate.
@@ -26,6 +26,7 @@ import (
 
 	"otherworld/internal/experiment"
 	"otherworld/internal/kernel"
+	"otherworld/internal/metrics"
 
 	_ "otherworld/internal/apps" // register the paper's applications
 )
@@ -42,6 +43,8 @@ func main() {
 	jsonOut := flag.String("json", "", "also write the rows as JSON to this file")
 	showTrace := flag.Bool("trace", false, "print per-application failure attributions from the flight recorder")
 	traceJSON := flag.String("trace-json", "", "write the failure attributions as JSON to this file")
+	showMetrics := flag.Bool("metrics", false, "print the campaign's outcome/fault-kind counters")
+	metricsJSON := flag.String("metrics-json", "", "write the campaign metrics snapshot as JSON to this file")
 	quiet := flag.Bool("quiet", false, "suppress the live progress ticker")
 	flag.Parse()
 
@@ -52,6 +55,9 @@ func main() {
 	cfg.VerifyCRC = !*nocrc
 	if *appsCSV != "" {
 		cfg.Apps = strings.Split(*appsCSV, ",")
+	}
+	if *showMetrics || *metricsJSON != "" {
+		cfg.Metrics = metrics.NewRegistry()
 	}
 	switch *hardening {
 	case "on":
@@ -132,6 +138,29 @@ func main() {
 		}
 		fmt.Println("failure attributions written to", *traceJSON)
 	}
+	if cfg.Metrics != nil {
+		snap := cfg.Metrics.Snapshot()
+		if *showMetrics {
+			fmt.Printf("\ncampaign metrics (%d series):\n", len(snap.Points))
+			if err := snap.RenderTable(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "owcampaign: render metrics:", err)
+				os.Exit(1)
+			}
+		}
+		if *metricsJSON != "" {
+			data, err := snap.EncodeJSON()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "owcampaign: marshal metrics:", err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(*metricsJSON, data, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "owcampaign: write:", err)
+				os.Exit(1)
+			}
+			fmt.Println("campaign metrics written to", *metricsJSON)
+		}
+	}
+
 	//owvet:allow nodeterminism: elapsed wall time is display-only and never enters campaign output files
 	fmt.Printf("\n(wall time %.0fs)\n", time.Since(start).Seconds())
 

@@ -5,7 +5,11 @@
 // printing a crash(8)-style inventory of the dead kernel's processes and
 // resources.
 //
-//	owdump [-app name] [-seed n]
+//	owdump [-app name] [-seed n] [-out file]
+//
+// -out copies the raw sparse dump to a host file, the input format of
+// `owstat recover` (which digs the dead kernel's metrics segment out of
+// the image).
 package main
 
 import (
@@ -26,14 +30,15 @@ import (
 func main() {
 	app := flag.String("app", "MySQL", "application to run before the crash")
 	seed := flag.Int64("seed", 2005, "seed (2005: the year of the KDump paper)")
+	out := flag.String("out", "", "also write the raw sparse dump to this host file (for owstat recover)")
 	flag.Parse()
-	if err := run(*app, *seed); err != nil {
+	if err := run(*app, *seed, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "owdump:", err)
 		os.Exit(1)
 	}
 }
 
-func run(app string, seed int64) error {
+func run(app string, seed int64, outFile string) error {
 	opts := core.DefaultOptions()
 	opts.HW = hw.Config{MemoryBytes: 256 << 20, NumCPUs: 2, TLBEntries: 64, WatchdogEnabled: true}
 	opts.CrashRegionMB = 16
@@ -67,6 +72,12 @@ func run(app string, seed int64) error {
 	data, err := m.FS.ReadFile(out.DumpPath)
 	if err != nil {
 		return err
+	}
+	if outFile != "" {
+		if err := os.WriteFile(outFile, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("raw dump copied to %s (inspect with: owstat recover %s)\n", outFile, outFile)
 	}
 	img, err := dump.Parse(data)
 	if err != nil {

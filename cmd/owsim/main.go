@@ -7,6 +7,11 @@
 // Usage:
 //
 //	owsim [-app name] [-seed n] [-faults n] [-protect] [-noharden]
+//	      [-metrics] [-metrics-json file]
+//
+// -metrics prints the machine's final metrics snapshot (the same registry
+// the crash-surviving segment persists); -metrics-json writes it in the
+// otherworld-metrics/1 format that owstat render/diff consume.
 package main
 
 import (
@@ -31,15 +36,43 @@ func main() {
 	protect := flag.Bool("protect", false, "enable user-space protection (Section 4)")
 	noharden := flag.Bool("noharden", false, "disable the Section 6 hardening fixes")
 	resWorkers := flag.Int("resurrect-workers", 0, "resurrection pipeline workers (0 = NumCPU); changes only the modeled interruption time")
+	showMetrics := flag.Bool("metrics", false, "print the final metrics snapshot")
+	metricsJSON := flag.String("metrics-json", "", "write the final metrics snapshot as JSON to this file")
 	flag.Parse()
 
-	if err := run(*app, *seed, *faults, *protect, *noharden, *resWorkers); err != nil {
+	if err := run(*app, *seed, *faults, *protect, *noharden, *resWorkers, *showMetrics, *metricsJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "owsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(app string, seed int64, faults int, protect, noharden bool, resWorkers int) error {
+// emitMetrics handles -metrics/-metrics-json at every exit path that has a
+// live machine: the snapshot is collected once and shared by both sinks.
+func emitMetrics(m *core.Machine, show bool, jsonFile string) error {
+	if !show && jsonFile == "" {
+		return nil
+	}
+	snap := m.MetricsSnapshot()
+	if show {
+		fmt.Printf("\nfinal metrics snapshot (%d series):\n", len(snap.Points))
+		if err := snap.RenderTable(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if jsonFile != "" {
+		data, err := snap.EncodeJSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonFile, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Println("metrics snapshot written to", jsonFile)
+	}
+	return nil
+}
+
+func run(app string, seed int64, faults int, protect, noharden bool, resWorkers int, showMetrics bool, metricsJSON string) error {
 	opts := core.DefaultOptions()
 	opts.HW = hw.Config{MemoryBytes: 256 << 20, NumCPUs: 2, TLBEntries: 64, WatchdogEnabled: true}
 	opts.CrashRegionMB = 16
@@ -88,7 +121,7 @@ func run(app string, seed int64, faults int, protect, noharden bool, resWorkers 
 	}
 	if res.Panic == nil {
 		fmt.Printf("[%s] no injected fault manifested (the paper discards these runs)\n", m.HW.Clock)
-		return nil
+		return emitMetrics(m, showMetrics, metricsJSON)
 	}
 	fmt.Printf("[%s] KERNEL FAILURE: %v\n", m.HW.Clock, res.Panic)
 
@@ -99,7 +132,10 @@ func run(app string, seed int64, faults int, protect, noharden bool, resWorkers 
 	if out.Result != core.ResultRecovered {
 		fmt.Printf("[%s] transfer of control FAILED: %s\n", m.HW.Clock, out.Transfer.Reason)
 		fmt.Printf("[%s] falling back to a full reboot (all volatile state lost)\n", m.HW.Clock)
-		return m.ColdReboot()
+		if err := m.ColdReboot(); err != nil {
+			return err
+		}
+		return emitMetrics(m, showMetrics, metricsJSON)
 	}
 	fmt.Printf("[%s] crash kernel booted; %d resurrection candidates found\n",
 		m.HW.Clock, len(out.Report.Candidates))
@@ -130,8 +166,8 @@ func run(app string, seed int64, faults int, protect, noharden bool, resWorkers 
 
 	if err := d.Verify(m); err != nil {
 		fmt.Printf("[%s] VERIFICATION FAILED: %v\n", m.HW.Clock, err)
-		return nil
+		return emitMetrics(m, showMetrics, metricsJSON)
 	}
 	fmt.Printf("[%s] application state verified against the remote log: no data lost\n", m.HW.Clock)
-	return nil
+	return emitMetrics(m, showMetrics, metricsJSON)
 }

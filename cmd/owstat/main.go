@@ -1,0 +1,174 @@
+// Command owstat introspects the metrics plane: it renders snapshot files
+// written by the other commands' -metrics-json flags, diffs two snapshots
+// with per-metric deltas, and — the post-mortem path — recovers the
+// crash-surviving metrics segment straight out of a raw KDump image, so
+// the dead kernel's counters are readable even when nothing else is.
+//
+// Usage:
+//
+//	owstat render [-prom] snapshot.json
+//	owstat diff old.json new.json
+//	owstat recover [-prom] [-json file] vmcore
+//
+// diff exits 0 when the snapshots are identical and 1 when they differ,
+// like diff(1). recover never treats corrupted segment pages as fatal:
+// they are counted and reported, and every intact page still renders.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"otherworld/internal/dump"
+	"otherworld/internal/metrics"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errw io.Writer) int {
+	if len(args) == 0 {
+		usage(errw)
+		return 2
+	}
+	var err error
+	switch args[0] {
+	case "render":
+		err = cmdRender(args[1:], out)
+	case "diff":
+		var differ bool
+		differ, err = cmdDiff(args[1:], out)
+		if err == nil && differ {
+			return 1
+		}
+	case "recover":
+		err = cmdRecover(args[1:], out)
+	case "-h", "-help", "--help", "help":
+		usage(out)
+		return 0
+	default:
+		fmt.Fprintf(errw, "owstat: unknown subcommand %q\n", args[0])
+		usage(errw)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintln(errw, "owstat:", err)
+		return 1
+	}
+	return 0
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `owstat — Otherworld metrics introspection
+
+  owstat render [-prom] snapshot.json     render a snapshot (table or Prometheus text)
+  owstat diff old.json new.json           per-metric deltas; exit 1 when they differ
+  owstat recover [-prom] [-json f] vmcore recover the metrics segment from a raw dump
+`)
+}
+
+func loadSnapshot(path string) (*metrics.Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := metrics.DecodeJSON(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+func cmdRender(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("render", flag.ContinueOnError)
+	prom := fs.Bool("prom", false, "Prometheus text exposition instead of the table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("render: want exactly one snapshot file, got %d args", fs.NArg())
+	}
+	s, err := loadSnapshot(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if *prom {
+		return s.WritePrometheus(out)
+	}
+	fmt.Fprintf(out, "schema %s, logical clock %d ns, %d metrics\n\n",
+		s.Schema, s.LogicalNowNS, len(s.Points))
+	return s.RenderTable(out)
+}
+
+func cmdDiff(args []string, out io.Writer) (differ bool, err error) {
+	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return false, err
+	}
+	if fs.NArg() != 2 {
+		return false, fmt.Errorf("diff: want old.json new.json, got %d args", fs.NArg())
+	}
+	a, err := loadSnapshot(fs.Arg(0))
+	if err != nil {
+		return false, err
+	}
+	b, err := loadSnapshot(fs.Arg(1))
+	if err != nil {
+		return false, err
+	}
+	d := metrics.Diff(a, b)
+	if err := d.Render(out); err != nil {
+		return false, err
+	}
+	return len(d.Deltas) > 0, nil
+}
+
+func cmdRecover(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("recover", flag.ContinueOnError)
+	prom := fs.Bool("prom", false, "Prometheus text exposition instead of the table")
+	jsonOut := fs.String("json", "", "also write the recovered snapshot as JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("recover: want exactly one dump file, got %d args", fs.NArg())
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	img, err := dump.Parse(data)
+	if err != nil {
+		return err
+	}
+	seg := metrics.ScanSegment(img, int(img.MaxFrame)+1)
+	fmt.Fprintf(out, "dump: %d captured frames; metrics segment: %d pages (%d valid, %d corrupted)\n",
+		img.Frames(), seg.Pages, seg.Valid, seg.Corrupted)
+	if seg.Corrupted > 0 {
+		fmt.Fprintf(out, "warning: %d segment pages failed their CRC (wild writes or torn flush); intact pages recovered below\n",
+			seg.Corrupted)
+	}
+	if seg.Valid == 0 {
+		fmt.Fprintln(out, "no intact metrics pages in this dump")
+		return nil
+	}
+	s := seg.Snapshot
+	fmt.Fprintf(out, "dead kernel's last flush at logical clock %d ns, %d metrics\n\n",
+		s.LogicalNowNS, len(s.Points))
+	if *jsonOut != "" {
+		enc, err := s.EncodeJSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, enc, 0o644); err != nil {
+			return err
+		}
+	}
+	if *prom {
+		return s.WritePrometheus(out)
+	}
+	return s.RenderTable(out)
+}

@@ -23,7 +23,7 @@ var NoDeterminism = &Analyzer{
 		"order-dependent map iteration in campaign-affecting packages",
 	Scope: []string{
 		"internal/experiment", "internal/sim", "internal/faultinject",
-		"internal/trace", "cmd",
+		"internal/trace", "internal/metrics", "cmd",
 	},
 	Run: runNoDeterminism,
 }

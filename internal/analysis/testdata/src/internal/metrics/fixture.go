@@ -1,0 +1,39 @@
+// Package metrics proves the nodeterminism scope covers the metrics
+// registry: snapshots must be bit-identical across resurrection-worker
+// widths, so a collector can never stamp them from the host clock.
+package metrics
+
+import "time"
+
+type registry struct {
+	logicalNow int64
+	points     map[string]int64
+}
+
+// collectWallClock is the banned pattern: a collector reading the wall
+// clock would make every snapshot differ run to run.
+func (r *registry) collectWallClock() {
+	r.logicalNow = time.Now().UnixNano() // want `time\.Now reads the wall clock`
+}
+
+// collectLogical is the compliant collector: the stamp comes in from the
+// simulation's virtual clock.
+func (r *registry) collectLogical(nowNS int64) {
+	r.logicalNow = nowNS
+}
+
+// sumPoints is an order-independent map reduction; it must not fire.
+func (r *registry) sumPoints() int64 {
+	var total int64
+	for _, v := range r.points {
+		total += v
+	}
+	return total
+}
+
+// profileScratch shows the escape hatch for tooling-only timing that never
+// reaches a snapshot.
+func profileScratch() int64 {
+	//owvet:allow nodeterminism: profiling scratch value, never stored in a snapshot
+	return time.Since(time.Unix(0, 0)).Nanoseconds()
+}

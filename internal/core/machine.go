@@ -14,6 +14,7 @@ import (
 	"otherworld/internal/fs"
 	"otherworld/internal/hw"
 	"otherworld/internal/kernel"
+	"otherworld/internal/metrics"
 	"otherworld/internal/phys"
 	"otherworld/internal/resurrect"
 	"otherworld/internal/sim"
@@ -56,6 +57,11 @@ type Options struct {
 	// the kernel failure and is re-parsed by the crash kernel, pstore
 	// style (see internal/trace).
 	TraceEvents int
+	// MetricsPages sizes the crash-surviving metrics segment (in pages)
+	// carved out of each slot's tail after the ring; 0 disables the
+	// metrics plane entirely (Machine.Metrics() returns nil and every
+	// instrument becomes a no-op).
+	MetricsPages int
 }
 
 // DefaultOptions returns the paper's experimental configuration: 1 GB VM,
@@ -70,6 +76,7 @@ func DefaultOptions() Options {
 		Resurrection:          resurrect.Config{All: true},
 		SwapSlotsPerPartition: 16384, // 64 MB per partition
 		TraceEvents:           512,
+		MetricsPages:          4,
 	}
 }
 
@@ -100,6 +107,12 @@ type Machine struct {
 	traceFrames int
 	// tracer is the current main kernel's flight recorder (nil if off).
 	tracer *trace.Ring
+	// metricsFrames is the metrics-segment tail behind the ring; metrics
+	// is the machine-lifetime registry (nil when the plane is off).
+	metricsFrames    int
+	metrics          *metrics.Registry
+	metricsFlushErrs int64
+	metricsDropped   int64
 	// swapIdx is the partition the current main kernel swaps to.
 	swapIdx int
 
@@ -157,6 +170,10 @@ type FailureOutcome struct {
 	// tracing is disabled). It is populated even when the transfer fails,
 	// so post-mortem context survives system-down outcomes too.
 	Trace *trace.Parsed
+	// DeadMetrics is the dead kernel's metrics segment, recovered from the
+	// crash reservation before any recovery step touched it (nil when the
+	// metrics plane is disabled). Corrupted pages are counted, not fatal.
+	DeadMetrics *metrics.ParsedSegment
 }
 
 // InterruptionAt re-evaluates the outage at an arbitrary resurrection
@@ -214,6 +231,15 @@ func NewMachine(opts Options) (*Machine, error) {
 	if m.traceFrames > crashFrames/2 {
 		m.traceFrames = crashFrames / 2
 	}
+	// The metrics segment sits behind the ring; together they may take at
+	// most three quarters of a slot so the image keeps the rest.
+	m.metricsFrames = opts.MetricsPages
+	if m.metricsFrames > crashFrames/4 {
+		m.metricsFrames = crashFrames / 4
+	}
+	if m.metricsFrames > 0 {
+		m.metrics = metrics.NewRegistry()
+	}
 
 	for _, name := range swapDevNames {
 		m.HW.Bus.Attach(newSwapPartition(name, opts.SwapSlotsPerPartition))
@@ -235,12 +261,14 @@ func NewMachine(opts Options) (*Machine, error) {
 		return nil, fmt.Errorf("core: load crash image: %w", err)
 	}
 	m.attachTracer(k)
+	m.attachMetrics()
 	return m, nil
 }
 
-// imageRegion is the write-protected crash-image part of a slot.
+// imageRegion is the write-protected crash-image part of a slot: the slot
+// minus the unprotected ring and metrics tails.
 func (m *Machine) imageRegion(slot phys.Region) phys.Region {
-	return phys.Region{Start: slot.Start, Frames: slot.Frames - m.traceFrames}
+	return phys.Region{Start: slot.Start, Frames: slot.Frames - m.traceFrames - m.metricsFrames}
 }
 
 // ringRegion is the unprotected flight-recorder tail of a slot. The ring
@@ -253,6 +281,15 @@ func (m *Machine) ringRegion(slot phys.Region) phys.Region {
 	}
 	img := m.imageRegion(slot)
 	return phys.Region{Start: img.End(), Frames: m.traceFrames}
+}
+
+// metricsRegion is the unprotected metrics-segment tail of a slot,
+// directly behind the flight-recorder ring.
+func (m *Machine) metricsRegion(slot phys.Region) phys.Region {
+	if m.metricsFrames == 0 {
+		return phys.Region{}
+	}
+	return phys.Region{Start: slot.End() - m.metricsFrames, Frames: m.metricsFrames}
 }
 
 // TraceRegion returns the physical region of the active flight-recorder
@@ -301,9 +338,16 @@ func (m *Machine) kernelParams() kernel.Params {
 	}
 }
 
-// Run drives the scheduler for at most maxSteps quanta.
+// Run drives the scheduler for at most maxSteps quanta, flushing the
+// metrics segment afterwards if the kernel is still healthy — a panicked
+// kernel gets no final flush, so the segment holds the last pre-failure
+// snapshot (the pstore discipline: the tail dies with the kernel).
 func (m *Machine) Run(maxSteps int) kernel.RunResult {
-	return m.K.Run(maxSteps)
+	res := m.K.Run(maxSteps)
+	if m.K.Panicked() == nil {
+		m.FlushMetrics()
+	}
+	return res
 }
 
 // Start launches a named program (the fork+exec path).
@@ -331,6 +375,9 @@ func (m *Machine) HandleFailure() (*FailureOutcome, error) {
 	img := m.slots[m.imageSlot]
 	if m.traceFrames > 0 {
 		out.Trace = trace.Parse(m.HW.Mem, m.ringRegion(img))
+	}
+	if m.metricsFrames > 0 {
+		out.DeadMetrics = metrics.ParseSegment(m.HW.Mem, m.metricsRegion(img))
 	}
 	out.Transfer = m.K.AttemptTransfer()
 	if !out.Transfer.OK {
@@ -393,6 +440,7 @@ func (m *Machine) HandleFailure() (*FailureOutcome, error) {
 	engine.MapPages = m.opts.MapPagesResurrection
 	engine.ResurrectIPC = m.opts.ResurrectIPC
 	engine.TraceRegion = m.ringRegion(img)
+	engine.Metrics = m.metrics
 	out.Report = engine.Run(m.opts.Resurrection)
 
 	// Morph (Section 3.6): reclaim all memory, reserve the other slot,
@@ -420,6 +468,8 @@ func (m *Machine) HandleFailure() (*FailureOutcome, error) {
 	m.attachTracer(crashK)
 
 	// Sockets died with the main kernel: drop undelivered inbound data.
+	// (attachMetrics runs below, after m.K and the reboot count are
+	// updated, so the first post-morph flush already reflects them.)
 	m.Net.FlushInbound()
 
 	m.K = crashK
@@ -435,6 +485,7 @@ func (m *Machine) HandleFailure() (*FailureOutcome, error) {
 		out.SerialInterruption = out.Interruption
 	}
 	m.LastOutcome = out
+	m.attachMetrics()
 	return out, nil
 }
 
@@ -465,6 +516,7 @@ func (m *Machine) ColdReboot() error {
 		return err
 	}
 	m.attachTracer(k)
+	m.attachMetrics()
 	return nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"otherworld/internal/kernel"
+	"otherworld/internal/metrics"
 	"otherworld/internal/resurrect"
 )
 
@@ -82,6 +83,11 @@ type CampaignConfig struct {
 	// the collecting goroutine's lock, so it must be quick) — the live
 	// campaign ticker in cmd/owcampaign.
 	Progress func(ProgressUpdate)
+	// Metrics, when set, receives per-app/per-pass outcome and fault-kind
+	// counters. Increments happen under the tally lock exactly where the
+	// tallies themselves do, so the registry mirrors the rows at any
+	// Workers/ResurrectWorkers setting.
+	Metrics *metrics.Registry
 
 	// runExperiment substitutes the single-experiment runner in tests;
 	// nil means Run.
@@ -162,6 +168,11 @@ func runCampaignPass(cfg CampaignConfig, app string, protection bool, want int, 
 	}
 
 	t := tally{attribs: make(map[Attribution]int)}
+	passName := "unprotected"
+	if protection {
+		passName = "protected"
+	}
+	passLabels := metrics.Labels{"app": app, "pass": passName}
 	runOne := cfg.runExperiment
 	if runOne == nil {
 		runOne = Run
@@ -203,6 +214,8 @@ func runCampaignPass(cfg CampaignConfig, app string, protection bool, want int, 
 				attempted++
 				if res.Outcome == OutcomeNoKernelFault {
 					t.discarded++
+					cfg.Metrics.Counter("campaign_discarded_total",
+						"injections that never caused a kernel failure", passLabels).Inc()
 					notifyProgress(cfg, app, protection, &t, want, attempted)
 					mu.Unlock()
 					continue
@@ -212,6 +225,9 @@ func runCampaignPass(cfg CampaignConfig, app string, protection bool, want int, 
 					return
 				}
 				t.n++
+				outLabels := metrics.Labels{"app": app, "pass": passName, "outcome": res.Outcome.String()}
+				cfg.Metrics.Counter("campaign_runs_total",
+					"faulted experiments by outcome", outLabels).Inc()
 				switch res.Outcome {
 				case OutcomeSuccess:
 					t.success++
@@ -229,6 +245,11 @@ func runCampaignPass(cfg CampaignConfig, app string, protection bool, want int, 
 				}
 				if res.Outcome != OutcomeSuccess && res.Detail != nil {
 					t.attribs[res.Detail.Attribution]++
+					if pk := res.Detail.PanicKind; pk != "" {
+						cfg.Metrics.Counter("campaign_fault_kinds_total",
+							"non-success runs by dead-kernel panic kind",
+							metrics.Labels{"app": app, "panic": pk}).Inc()
+					}
 				}
 				notifyProgress(cfg, app, protection, &t, want, attempted)
 				mu.Unlock()

@@ -3,6 +3,8 @@ package experiment
 import (
 	"strings"
 	"testing"
+
+	"otherworld/internal/metrics"
 )
 
 func TestSingleExperimentOutcomes(t *testing.T) {
@@ -45,9 +47,23 @@ func TestSmallCampaignAggregates(t *testing.T) {
 	cfg := DefaultCampaign(6, 321)
 	cfg.Apps = []string{"vi"}
 	cfg.SkipProtected = true
+	cfg.Metrics = metrics.NewRegistry()
 	rows := RunTable5(cfg)
 	if len(rows) != 1 || rows[0].N != 6 {
 		t.Fatalf("rows = %+v", rows)
+	}
+	// The registry counters mirror the tally rows exactly.
+	var counted int64
+	for _, p := range cfg.Metrics.Snapshot().Points {
+		if p.Name == "campaign_runs_total" {
+			if p.Labels["app"] != "vi" || p.Labels["pass"] != "unprotected" {
+				t.Fatalf("unexpected campaign series labels: %+v", p.Labels)
+			}
+			counted += p.Value
+		}
+	}
+	if counted != 6 {
+		t.Fatalf("campaign_runs_total sums to %d, want 6", counted)
 	}
 	r := rows[0]
 	sum := r.Success + r.BootFailure + r.ResurrectFail + r.CorruptNoProt

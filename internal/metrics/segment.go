@@ -1,0 +1,415 @@
+package metrics
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"otherworld/internal/phys"
+)
+
+// The metrics segment is the crash-surviving on-memory form of a snapshot:
+// page-granular, CRC-framed records packed into the unprotected tail of
+// the crash reservation, right after the flight-recorder ring. Each page
+// is self-contained — its own magic, header, payload and trailing CRC — so
+// a wild write that lands on one page costs exactly that page's points,
+// never the whole segment (the same per-slot discipline as trace rings).
+//
+// Page layout (phys.PageSize bytes, little-endian):
+//
+//	magic(4) | version(1) | flags(1) | pageIdx(2) | logicalNow(8) |
+//	payloadLen(2) | payload | zero padding | crc32(4, Castagnoli,
+//	over everything before it)
+//
+// Point record (inside the payload):
+//
+//	kind(1) | nameLen(2) name | labelCount(1) (kLen(2) k vLen(2) v)* |
+//	counter: value(8)
+//	gauge:   float64 bits(8)
+//	histogram: sum(8) count(8) overflow(8) nBuckets(2) (le(8) count(8))*
+//
+// Help strings are not persisted: recovered points re-render with empty
+// help, which costs nothing the post-mortem reader needs.
+
+// SegMagic marks a metrics page ("OWMT"); deliberately distinct from both
+// layout.Magic and trace.Magic so a metrics page can never be confused
+// with a kernel record or a trace slot.
+const SegMagic uint32 = 0x4F574D54
+
+// SegVersion is the segment format version.
+const SegVersion = 1
+
+const (
+	segHeaderSize = 18 // magic..payloadLen
+	segCRCSize    = 4
+	// SegPayloadCap is the usable bytes per page.
+	SegPayloadCap = phys.PageSize - segHeaderSize - segCRCSize
+)
+
+var segCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// MemoryReader is the read-only memory surface segment parsing needs;
+// *phys.Mem satisfies it and so does *dump.Image, which is how owstat
+// recovers a dead kernel's metrics from a raw dump file.
+type MemoryReader interface {
+	ReadAt(addr uint64, buf []byte) error
+}
+
+// MemoryWriter is the write surface WriteSegment needs; *phys.Mem
+// satisfies it.
+type MemoryWriter interface {
+	WriteAt(addr uint64, buf []byte) error
+}
+
+// encodePoint serializes one point, or nil if it cannot fit a page.
+func encodePoint(p Point) []byte {
+	pairs := canonLabels(p.Labels)
+	if len(p.Name) > math.MaxUint16 || len(pairs) > math.MaxUint8 {
+		return nil
+	}
+	var kind Kind
+	switch p.Kind {
+	case "counter":
+		kind = KindCounter
+	case "gauge":
+		kind = KindGauge
+	case "histogram":
+		kind = KindHistogram
+	default:
+		return nil
+	}
+	buf := make([]byte, 0, 64)
+	buf = append(buf, byte(kind))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(p.Name)))
+	buf = append(buf, p.Name...)
+	buf = append(buf, byte(len(pairs)))
+	for _, lp := range pairs {
+		if len(lp.k) > math.MaxUint16 || len(lp.v) > math.MaxUint16 {
+			return nil
+		}
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(lp.k)))
+		buf = append(buf, lp.k...)
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(lp.v)))
+		buf = append(buf, lp.v...)
+	}
+	switch kind {
+	case KindCounter:
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(p.Value))
+	case KindGauge:
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.Gauge))
+	case KindHistogram:
+		if len(p.Buckets) > math.MaxUint16 {
+			return nil
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(p.Sum))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(p.Count))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(p.Overflow))
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(p.Buckets)))
+		for _, bk := range p.Buckets {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(bk.Le))
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(bk.Count))
+		}
+	}
+	if len(buf) > SegPayloadCap {
+		return nil
+	}
+	return buf
+}
+
+// decodePoints parses every record in a payload; any malformed byte fails
+// the whole payload (the page CRC already vouched for the bytes, so a
+// decode error means a version/format problem, treated as corruption).
+func decodePoints(payload []byte) ([]Point, error) {
+	var out []Point
+	off := 0
+	need := func(n int) error {
+		if off+n > len(payload) {
+			return fmt.Errorf("metrics: truncated record at %d", off)
+		}
+		return nil
+	}
+	u16 := func() uint16 { v := binary.LittleEndian.Uint16(payload[off:]); off += 2; return v }
+	u64 := func() uint64 { v := binary.LittleEndian.Uint64(payload[off:]); off += 8; return v }
+	for off < len(payload) {
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		kind := Kind(payload[off])
+		off++
+		nameLen := int(u16())
+		if err := need(nameLen + 1); err != nil {
+			return nil, err
+		}
+		p := Point{Name: string(payload[off : off+nameLen])}
+		off += nameLen
+		nLabels := int(payload[off])
+		off++
+		if nLabels > 0 {
+			p.Labels = make(map[string]string, nLabels)
+		}
+		for i := 0; i < nLabels; i++ {
+			if err := need(2); err != nil {
+				return nil, err
+			}
+			kl := int(u16())
+			if err := need(kl + 2); err != nil {
+				return nil, err
+			}
+			k := string(payload[off : off+kl])
+			off += kl
+			vl := int(u16())
+			if err := need(vl); err != nil {
+				return nil, err
+			}
+			p.Labels[k] = string(payload[off : off+vl])
+			off += vl
+		}
+		switch kind {
+		case KindCounter:
+			if err := need(8); err != nil {
+				return nil, err
+			}
+			p.Kind = "counter"
+			p.Value = int64(u64())
+		case KindGauge:
+			if err := need(8); err != nil {
+				return nil, err
+			}
+			p.Kind = "gauge"
+			p.Gauge = math.Float64frombits(u64())
+		case KindHistogram:
+			if err := need(26); err != nil {
+				return nil, err
+			}
+			p.Kind = "histogram"
+			p.Sum = int64(u64())
+			p.Count = int64(u64())
+			p.Overflow = int64(u64())
+			nb := int(u16())
+			if err := need(nb * 16); err != nil {
+				return nil, err
+			}
+			p.Buckets = make([]Bucket, nb)
+			for i := 0; i < nb; i++ {
+				p.Buckets[i] = Bucket{Le: int64(u64()), Count: int64(u64())}
+			}
+		default:
+			return nil, fmt.Errorf("metrics: record kind %d unknown", kind)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// sealPage frames a payload into a full page image.
+func sealPage(pageIdx int, logicalNow int64, payload []byte) []byte {
+	page := make([]byte, phys.PageSize)
+	binary.LittleEndian.PutUint32(page[0:], SegMagic)
+	page[4] = SegVersion
+	page[5] = 0 // flags, reserved
+	binary.LittleEndian.PutUint16(page[6:], uint16(pageIdx))
+	binary.LittleEndian.PutUint64(page[8:], uint64(logicalNow))
+	binary.LittleEndian.PutUint16(page[16:], uint16(len(payload)))
+	copy(page[segHeaderSize:], payload)
+	crc := crc32.Checksum(page[:phys.PageSize-segCRCSize], segCRCTable)
+	binary.LittleEndian.PutUint32(page[phys.PageSize-segCRCSize:], crc)
+	return page
+}
+
+// WriteSegment packs a snapshot into region, one CRC-framed page at a
+// time, zero-filling every trailing page so stale points from an earlier,
+// longer flush can never resurrect. It returns the data pages written and
+// how many points were dropped for lack of room. The first write error
+// aborts (the region is supposed to be unprotected; a protection fault
+// here is a real bug the caller must see).
+func WriteSegment(mem MemoryWriter, region phys.Region, s *Snapshot) (pages, dropped int, err error) {
+	if region.Frames <= 0 {
+		if s != nil {
+			dropped = len(s.Points)
+		}
+		return 0, dropped, nil
+	}
+	var payload []byte
+	flush := func() error {
+		if pages >= region.Frames {
+			return nil
+		}
+		img := sealPage(pages, s.LogicalNowNS, payload)
+		if werr := mem.WriteAt(phys.FrameAddr(region.Start+pages), img); werr != nil {
+			return werr
+		}
+		pages++
+		payload = payload[:0]
+		return nil
+	}
+	for _, p := range s.Points {
+		rec := encodePoint(p)
+		if rec == nil {
+			dropped++
+			continue
+		}
+		if len(payload)+len(rec) > SegPayloadCap {
+			if pages == region.Frames-1 {
+				// No room for another page; everything else drops.
+				dropped++
+				continue
+			}
+			if err = flush(); err != nil {
+				return pages, dropped, err
+			}
+		}
+		payload = append(payload, rec...)
+	}
+	if len(payload) > 0 || pages == 0 {
+		if err = flush(); err != nil {
+			return pages, dropped, err
+		}
+	}
+	zero := make([]byte, phys.PageSize)
+	for f := region.Start + pages; f < region.End(); f++ {
+		if werr := mem.WriteAt(phys.FrameAddr(f), zero); werr != nil {
+			return pages, dropped, werr
+		}
+	}
+	return pages, dropped, nil
+}
+
+// ParsedSegment is a metrics segment recovered from raw memory.
+type ParsedSegment struct {
+	// Snapshot holds the recovered points (never nil; empty when nothing
+	// validated). LogicalNowNS is the newest valid page's stamp.
+	Snapshot *Snapshot
+	// Pages counts the frames examined that bore the segment magic;
+	// Valid of them decoded, Corrupted failed the CRC or record decode,
+	// and Empty counts all-zero frames in the region (ParseSegment only).
+	Pages     int
+	Valid     int
+	Corrupted int
+	Empty     int
+}
+
+// segPage is one validated page before generation filtering.
+type segPage struct {
+	now    int64
+	points []Point
+}
+
+// parseOne classifies a single page image: (nil, false) = no magic,
+// (nil, true) = corrupted, (page, true) = valid.
+func parseOne(buf []byte) (*segPage, bool) {
+	if binary.LittleEndian.Uint32(buf[0:]) != SegMagic {
+		return nil, false
+	}
+	if buf[4] != SegVersion {
+		return nil, true
+	}
+	payLen := int(binary.LittleEndian.Uint16(buf[16:]))
+	if payLen > SegPayloadCap {
+		return nil, true
+	}
+	stored := binary.LittleEndian.Uint32(buf[phys.PageSize-segCRCSize:])
+	if crc32.Checksum(buf[:phys.PageSize-segCRCSize], segCRCTable) != stored {
+		return nil, true
+	}
+	pts, err := decodePoints(buf[segHeaderSize : segHeaderSize+payLen])
+	if err != nil {
+		return nil, true
+	}
+	return &segPage{now: int64(binary.LittleEndian.Uint64(buf[8:])), points: pts}, true
+}
+
+// finish folds validated pages into a ParsedSegment, keeping only the
+// newest generation: every page of one flush carries the same logical
+// stamp, so pages with an older stamp are stale leftovers (possible when
+// scanning a whole dump that still holds a previous slot's segment) and
+// would duplicate series if merged.
+func finish(ps *ParsedSegment, pages []*segPage) *ParsedSegment {
+	snap := &Snapshot{Schema: SchemaVersion}
+	var maxNow int64
+	for _, pg := range pages {
+		if pg.now > maxNow {
+			maxNow = pg.now
+		}
+	}
+	snap.LogicalNowNS = maxNow
+	for _, pg := range pages {
+		if pg.now == maxNow {
+			snap.Points = append(snap.Points, pg.points...)
+		}
+	}
+	sortPoints(snap.Points)
+	ps.Snapshot = snap
+	return ps
+}
+
+// ParseSegment recovers a segment from a known region of raw memory —
+// the crash kernel reading what the dead kernel measured. Corruption is
+// counted and skipped, never fatal; an unreadable frame counts corrupted.
+func ParseSegment(mem MemoryReader, region phys.Region) *ParsedSegment {
+	ps := &ParsedSegment{}
+	var pages []*segPage
+	buf := make([]byte, phys.PageSize)
+	for f := region.Start; f < region.End(); f++ {
+		if err := mem.ReadAt(phys.FrameAddr(f), buf); err != nil {
+			ps.Pages++
+			ps.Corrupted++
+			continue
+		}
+		pg, bore := parseOne(buf)
+		switch {
+		case pg != nil:
+			ps.Pages++
+			ps.Valid++
+			pages = append(pages, pg)
+		case bore:
+			ps.Pages++
+			ps.Corrupted++
+		case allZeroPage(buf):
+			ps.Empty++
+		default:
+			// Non-zero bytes without the magic: the page was overwritten
+			// (or its magic clobbered) — count it as corruption.
+			ps.Pages++
+			ps.Corrupted++
+		}
+	}
+	return finish(ps, pages)
+}
+
+// ScanSegment sweeps the first `frames` frames of an arbitrary memory
+// image for metrics pages — the owstat path over a raw dump, where the
+// segment's exact region is not known. Only frames bearing the magic
+// count; a frame whose magic itself was destroyed is invisible here (its
+// loss still shows as a gap against the writer's page count).
+func ScanSegment(mem MemoryReader, frames int) *ParsedSegment {
+	ps := &ParsedSegment{}
+	var pages []*segPage
+	buf := make([]byte, phys.PageSize)
+	for f := 0; f < frames; f++ {
+		if err := mem.ReadAt(phys.FrameAddr(f), buf); err != nil {
+			continue
+		}
+		pg, bore := parseOne(buf)
+		if !bore {
+			continue
+		}
+		ps.Pages++
+		if pg != nil {
+			ps.Valid++
+			pages = append(pages, pg)
+		} else {
+			ps.Corrupted++
+		}
+	}
+	return finish(ps, pages)
+}
+
+func allZeroPage(b []byte) bool {
+	for _, v := range b {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}

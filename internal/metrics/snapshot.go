@@ -1,0 +1,391 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SchemaVersion is the versioned snapshot schema identifier. Bump the
+// suffix on any incompatible change to the JSON shape.
+const SchemaVersion = "otherworld-metrics/1"
+
+// Bucket is one histogram cell: observations with value <= Le that fell in
+// no earlier bucket (non-cumulative; the Prometheus exposition cumulates).
+type Bucket struct {
+	Le    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// Point is one serialized series.
+type Point struct {
+	Name   string            `json:"name"`
+	Kind   string            `json:"kind"`
+	Help   string            `json:"help,omitempty"`
+	Labels map[string]string `json:"labels,omitempty"`
+	// Value is the counter total.
+	Value int64 `json:"value,omitempty"`
+	// Gauge is the gauge level.
+	Gauge float64 `json:"gauge,omitempty"`
+	// Sum/Count/Overflow/Buckets are the histogram cells.
+	Sum      int64    `json:"sum,omitempty"`
+	Count    int64    `json:"count,omitempty"`
+	Overflow int64    `json:"overflow,omitempty"`
+	Buckets  []Bucket `json:"buckets,omitempty"`
+}
+
+// ID returns the canonical series identity: name plus sorted labels.
+func (p Point) ID() string {
+	return p.Name + labelSuffix(canonLabels(p.Labels))
+}
+
+// Snapshot is a deep, sorted copy of a registry at one logical instant.
+type Snapshot struct {
+	Schema string `json:"schema"`
+	// LogicalNowNS is the virtual clock at snapshot time. It is part of
+	// the snapshot but excluded from Fingerprint: after a recovery the
+	// machine clock reflects the live parallel schedule, which is the one
+	// legitimately worker-count-dependent quantity (exactly like
+	// resurrect.Report excluding ParallelStats from its fingerprint).
+	LogicalNowNS int64   `json:"logical_now_ns"`
+	Points       []Point `json:"metrics"`
+}
+
+// Snapshot captures every registered series, sorted by series identity,
+// plus the registry's own conflict counter. Safe to call concurrently with
+// writers; a nil registry yields an empty (but well-formed) snapshot.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{Schema: SchemaVersion}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	s.LogicalNowNS = r.logicalNow
+	ids := make([]string, 0, len(r.by))
+	for id := range r.by {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	pts := make([]Point, 0, len(ids)+1)
+	for _, id := range ids {
+		pts = append(pts, r.by[id].point())
+	}
+	pts = append(pts, Point{
+		Name:  "owmetrics_conflicts_total",
+		Kind:  KindCounter.String(),
+		Help:  "registrations or merges refused over kind/bucket mismatch",
+		Value: r.conflicts,
+	})
+	r.mu.Unlock()
+	sortPoints(pts)
+	s.Points = pts
+	return s
+}
+
+// sortPoints orders by name, then canonical label string — so every series
+// of one name is contiguous (the Prometheus writer relies on this).
+func sortPoints(pts []Point) {
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].Name != pts[j].Name {
+			return pts[i].Name < pts[j].Name
+		}
+		return labelSuffix(canonLabels(pts[i].Labels)) < labelSuffix(canonLabels(pts[j].Labels))
+	})
+}
+
+func (m *metric) point() Point {
+	p := Point{Name: m.name, Kind: m.kind.String(), Help: m.help}
+	if len(m.pairs) > 0 {
+		p.Labels = make(map[string]string, len(m.pairs))
+		for _, lp := range m.pairs {
+			p.Labels[lp.k] = lp.v
+		}
+	}
+	switch m.kind {
+	case KindCounter:
+		p.Value = m.value
+	case KindGauge:
+		p.Gauge = m.gauge
+	case KindHistogram:
+		p.Sum, p.Count, p.Overflow = m.sum, m.count, m.overflow
+		p.Buckets = make([]Bucket, len(m.bounds))
+		for i, le := range m.bounds {
+			p.Buckets[i] = Bucket{Le: le, Count: m.buckets[i]}
+		}
+	}
+	return p
+}
+
+// Get returns the point with the given name and labels, or nil.
+func (s *Snapshot) Get(name string, ls Labels) *Point {
+	if s == nil {
+		return nil
+	}
+	id := name + labelSuffix(canonLabels(ls))
+	for i := range s.Points {
+		if s.Points[i].ID() == id {
+			return &s.Points[i]
+		}
+	}
+	return nil
+}
+
+// formatGauge renders a float without precision loss or locale surprises.
+func formatGauge(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Fingerprint renders the snapshot as a stable text form for golden
+// pinning: one line per series in sorted order. LogicalNowNS is excluded —
+// see the field's comment — so the fingerprint is bit-identical at any
+// resurrection pool width.
+func (s *Snapshot) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "schema=%s\n", s.Schema)
+	for _, p := range s.Points {
+		switch p.Kind {
+		case "counter":
+			fmt.Fprintf(&b, "counter %s = %d\n", p.ID(), p.Value)
+		case "gauge":
+			fmt.Fprintf(&b, "gauge %s = %s\n", p.ID(), formatGauge(p.Gauge))
+		case "histogram":
+			fmt.Fprintf(&b, "histogram %s count=%d sum=%d overflow=%d buckets=", p.ID(), p.Count, p.Sum, p.Overflow)
+			for i, bk := range p.Buckets {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				fmt.Fprintf(&b, "%d:%d", bk.Le, bk.Count)
+			}
+			b.WriteByte('\n')
+		default:
+			fmt.Fprintf(&b, "%s %s\n", p.Kind, p.ID())
+		}
+	}
+	return b.String()
+}
+
+// EncodeJSON renders the versioned JSON form (golden-tested byte for byte:
+// encoding/json sorts map keys, so the output is deterministic).
+func (s *Snapshot) EncodeJSON() ([]byte, error) {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// DecodeJSON parses and schema-checks a snapshot.
+func DecodeJSON(data []byte) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("metrics: decode snapshot: %w", err)
+	}
+	if s.Schema != SchemaVersion {
+		return nil, fmt.Errorf("metrics: snapshot schema %q, want %q", s.Schema, SchemaVersion)
+	}
+	return &s, nil
+}
+
+// escapeLabel escapes a label value for the Prometheus text format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// promLabels renders `{k="v",...}` with an optional extra le pair.
+func promLabels(pairs []labelPair, le string) string {
+	if len(pairs) == 0 && le == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", p.k, escapeLabel(p.v))
+	}
+	if le != "" {
+		if len(pairs) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "le=%q", le)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePrometheus renders the Prometheus text exposition format. Histogram
+// buckets are cumulated and close with le="+Inf" per convention.
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	lastName := ""
+	for _, p := range s.Points {
+		pairs := canonLabels(p.Labels)
+		if p.Name != lastName {
+			if p.Help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", p.Name, p.Help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", p.Name, p.Kind); err != nil {
+				return err
+			}
+			lastName = p.Name
+		}
+		var err error
+		switch p.Kind {
+		case "counter":
+			_, err = fmt.Fprintf(w, "%s%s %d\n", p.Name, promLabels(pairs, ""), p.Value)
+		case "gauge":
+			_, err = fmt.Fprintf(w, "%s%s %s\n", p.Name, promLabels(pairs, ""), formatGauge(p.Gauge))
+		case "histogram":
+			cum := int64(0)
+			for _, bk := range p.Buckets {
+				cum = satAdd(cum, bk.Count)
+				if _, err = fmt.Fprintf(w, "%s_bucket%s %d\n",
+					p.Name, promLabels(pairs, strconv.FormatInt(bk.Le, 10)), cum); err != nil {
+					return err
+				}
+			}
+			if _, err = fmt.Fprintf(w, "%s_bucket%s %d\n", p.Name, promLabels(pairs, "+Inf"), p.Count); err != nil {
+				return err
+			}
+			if _, err = fmt.Fprintf(w, "%s_sum%s %d\n", p.Name, promLabels(pairs, ""), p.Sum); err != nil {
+				return err
+			}
+			_, err = fmt.Fprintf(w, "%s_count%s %d\n", p.Name, promLabels(pairs, ""), p.Count)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderTable renders a human-readable table, one series per line.
+func (s *Snapshot) RenderTable(w io.Writer) error {
+	for _, p := range s.Points {
+		var val string
+		switch p.Kind {
+		case "counter":
+			val = strconv.FormatInt(p.Value, 10)
+		case "gauge":
+			val = formatGauge(p.Gauge)
+		case "histogram":
+			val = fmt.Sprintf("count=%d sum=%d overflow=%d", p.Count, p.Sum, p.Overflow)
+		}
+		if _, err := fmt.Fprintf(w, "%-10s %-58s %s\n", p.Kind, p.ID(), val); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Delta is one changed field between two snapshots.
+type Delta struct {
+	// ID is the series identity, Field the changed cell: "value", "sum",
+	// "count", "overflow", "le=N", or "present" for an added/removed
+	// series (0 -> 1 means added in the newer snapshot).
+	ID    string  `json:"id"`
+	Field string  `json:"field"`
+	Old   float64 `json:"old"`
+	New   float64 `json:"new"`
+}
+
+// DiffResult is a per-metric comparison of two snapshots.
+type DiffResult struct {
+	// Metrics counts the distinct series compared (union of both sides).
+	Metrics int     `json:"metrics"`
+	Deltas  []Delta `json:"deltas"`
+}
+
+// cell is one named numeric value of a flattened point.
+type cell struct {
+	name string
+	val  float64
+}
+
+// fields flattens a point to named numeric cells.
+func (p Point) fields() []cell {
+	switch p.Kind {
+	case "gauge":
+		return []cell{{"value", p.Gauge}}
+	case "histogram":
+		out := []cell{{"sum", float64(p.Sum)}, {"count", float64(p.Count)}, {"overflow", float64(p.Overflow)}}
+		for _, bk := range p.Buckets {
+			out = append(out, cell{"le=" + strconv.FormatInt(bk.Le, 10), float64(bk.Count)})
+		}
+		return out
+	default:
+		return []cell{{"value", float64(p.Value)}}
+	}
+}
+
+// Diff compares two snapshots series by series, in sorted-id order. Series
+// present on only one side yield a single "present" delta.
+func Diff(a, b *Snapshot) DiffResult {
+	am := make(map[string]Point)
+	bm := make(map[string]Point)
+	ids := make([]string, 0, len(a.Points)+len(b.Points))
+	for _, p := range a.Points {
+		am[p.ID()] = p
+		ids = append(ids, p.ID())
+	}
+	for _, p := range b.Points {
+		id := p.ID()
+		bm[id] = p
+		if _, dup := am[id]; !dup {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+
+	res := DiffResult{Metrics: len(ids)}
+	for _, id := range ids {
+		pa, inA := am[id]
+		pb, inB := bm[id]
+		switch {
+		case !inA:
+			res.Deltas = append(res.Deltas, Delta{ID: id, Field: "present", Old: 0, New: 1})
+		case !inB:
+			res.Deltas = append(res.Deltas, Delta{ID: id, Field: "present", Old: 1, New: 0})
+		default:
+			fa, fb := pa.fields(), pb.fields()
+			if len(fa) != len(fb) {
+				res.Deltas = append(res.Deltas, Delta{ID: id, Field: "shape", Old: float64(len(fa)), New: float64(len(fb))})
+				continue
+			}
+			for i := range fa {
+				if fa[i].name != fb[i].name {
+					res.Deltas = append(res.Deltas, Delta{ID: id, Field: "shape", Old: 0, New: 1})
+					break
+				}
+				if fa[i].val != fb[i].val {
+					res.Deltas = append(res.Deltas, Delta{ID: id, Field: fa[i].name, Old: fa[i].val, New: fb[i].val})
+				}
+			}
+		}
+	}
+	return res
+}
+
+// Render prints the diff; identical snapshots produce a single
+// "snapshots identical" line (the owstat self-diff smoke greps for it).
+func (d DiffResult) Render(w io.Writer) error {
+	if len(d.Deltas) == 0 {
+		_, err := fmt.Fprintf(w, "snapshots identical (%d metrics; 0 deltas)\n", d.Metrics)
+		return err
+	}
+	for _, dl := range d.Deltas {
+		if _, err := fmt.Fprintf(w, "%s %s: %s -> %s (%+g)\n",
+			dl.ID, dl.Field, formatGauge(dl.Old), formatGauge(dl.New), dl.New-dl.Old); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%d deltas across %d metrics\n", len(d.Deltas), d.Metrics)
+	return err
+}

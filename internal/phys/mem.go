@@ -13,6 +13,7 @@ package phys
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 )
 
 // PageSize is the frame size in bytes, matching the x86 4 KiB page the
@@ -77,11 +78,35 @@ func (f *ProtectionFault) Error() string {
 	return fmt.Sprintf("phys: write to protected frame %d (addr %#x)", f.Frame, f.Addr)
 }
 
+// Stats is a point-in-time copy of a Mem's access counters.
+type Stats struct {
+	// ReadOps/ReadBytes count ReadAt (and ReadU64) traffic; WriteOps/
+	// WriteBytes count successful WriteAt/WriteU64/Zero traffic.
+	ReadOps    int64
+	ReadBytes  int64
+	WriteOps   int64
+	WriteBytes int64
+	// ProtFaults counts writes refused by frame protection — the
+	// hardware-trap analogue that catches wild writes into the
+	// crash-kernel image.
+	ProtFaults int64
+}
+
 // Mem is the machine's physical memory.
 type Mem struct {
 	data []byte
 	prot []bool
 	kind []FrameKind
+
+	// Access counters are atomics so the resurrection scan pool's
+	// concurrent readers can count without a lock. Frame() aliasing
+	// deliberately bypasses them: it is a kernel-internal fast path, and
+	// the counters model the explicit memory bus traffic only.
+	readOps    atomic.Int64
+	readBytes  atomic.Int64
+	writeOps   atomic.Int64
+	writeBytes atomic.Int64
+	protFaults atomic.Int64
 }
 
 // NewMem installs size bytes of physical memory. Size is rounded down to a
@@ -115,6 +140,8 @@ func (m *Mem) ReadAt(addr uint64, buf []byte) error {
 	if err := m.check(addr, len(buf)); err != nil {
 		return err
 	}
+	m.readOps.Add(1)
+	m.readBytes.Add(int64(len(buf)))
 	copy(buf, m.data[addr:])
 	return nil
 }
@@ -132,9 +159,12 @@ func (m *Mem) WriteAt(addr uint64, buf []byte) error {
 	}
 	for f := first; f <= last; f++ {
 		if m.prot[f] {
+			m.protFaults.Add(1)
 			return &ProtectionFault{Addr: addr, Frame: f}
 		}
 	}
+	m.writeOps.Add(1)
+	m.writeBytes.Add(int64(len(buf)))
 	copy(m.data[addr:], buf)
 	return nil
 }
@@ -217,13 +247,29 @@ func (m *Mem) Zero(f int) error {
 		return ErrOutOfRange
 	}
 	if m.prot[f] {
+		m.protFaults.Add(1)
 		return &ProtectionFault{Addr: FrameAddr(f), Frame: f}
 	}
+	m.writeOps.Add(1)
+	m.writeBytes.Add(int64(PageSize))
 	base := FrameAddr(f)
 	for i := base; i < base+PageSize; i++ {
 		m.data[i] = 0
 	}
 	return nil
+}
+
+// Stats returns a point-in-time copy of the access counters. Because the
+// scan pool issues an identical read set at any worker count, every field
+// is itself deterministic across pool widths.
+func (m *Mem) Stats() Stats {
+	return Stats{
+		ReadOps:    m.readOps.Load(),
+		ReadBytes:  m.readBytes.Load(),
+		WriteOps:   m.writeOps.Load(),
+		WriteBytes: m.writeBytes.Load(),
+		ProtFaults: m.protFaults.Load(),
+	}
 }
 
 func (m *Mem) check(addr uint64, n int) error {

@@ -263,3 +263,30 @@ func TestRegionHelpers(t *testing.T) {
 		t.Fatal("ContainsAddr wrong")
 	}
 }
+
+func TestMemStats(t *testing.T) {
+	m := NewMem(4 * PageSize)
+	buf := make([]byte, 100)
+	if err := m.WriteAt(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ReadAt(0, buf[:40]); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Zero(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Protect(2, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteAt(FrameAddr(2), buf); err == nil {
+		t.Fatal("expected protection fault")
+	}
+	// Out-of-range accesses are not bus traffic and must not count.
+	_ = m.ReadAt(1<<40, buf)
+	s := m.Stats()
+	want := Stats{ReadOps: 1, ReadBytes: 40, WriteOps: 2, WriteBytes: 100 + PageSize, ProtFaults: 1}
+	if s != want {
+		t.Fatalf("stats = %+v, want %+v", s, want)
+	}
+}

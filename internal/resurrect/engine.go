@@ -23,6 +23,7 @@ import (
 	"otherworld/internal/disk"
 	"otherworld/internal/kernel"
 	"otherworld/internal/layout"
+	"otherworld/internal/metrics"
 	"otherworld/internal/phys"
 	"otherworld/internal/sim"
 	"otherworld/internal/trace"
@@ -275,6 +276,12 @@ type Engine struct {
 	// when tracing is off); Run parses it into Report.Trace through the
 	// counting reader.
 	TraceRegion phys.Region
+	// Metrics receives the pass's instrumentation (nil disables). Scan
+	// workers write concurrently — counter adds only, with per-candidate
+	// values that are pure functions of the candidate — and the rest is
+	// published serially from the Report, so the registry snapshot is
+	// bit-identical at any Workers setting.
+	Metrics *metrics.Registry
 
 	rd   reader
 	acct Accounting
@@ -383,6 +390,7 @@ func (e *Engine) Run(cfg Config) *Report {
 		rep.Duration = e.K.M.Clock.Since(start)
 		rep.Prologue = rep.Duration
 		rep.Parallel = ParallelStats{Workers: 1, Duration: rep.Duration}
+		e.publish(rep)
 		return rep
 	}
 	mainSwapName, _ := e.MainSwapDevice()
@@ -462,6 +470,7 @@ func (e *Engine) Run(cfg Config) *Report {
 		CriticalPath: critical,
 		Duration:     e.K.M.Clock.Since(start),
 	}
+	e.publish(rep)
 	return rep
 }
 

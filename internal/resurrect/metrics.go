@@ -1,0 +1,59 @@
+package resurrect
+
+import (
+	"sort"
+
+	"otherworld/internal/metrics"
+)
+
+// Histogram bounds for the resurrection metrics. Durations are virtual
+// nanoseconds in decade buckets (1µs .. 10s); byte sizes follow the data
+// shapes the scan actually moves (a page, a small heap, big app images).
+var (
+	phaseDurBounds  = []int64{1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10}
+	phaseByteBounds = []int64{4 << 10, 64 << 10, 1 << 20, 16 << 20, 64 << 20, 256 << 20}
+)
+
+// publish records a finished pass into the engine's registry. Everything
+// observed here is worker-count-independent by construction — it is all
+// derived from the Report's fingerprinted fields (Procs, Timeline,
+// PerCandidate, Acct), never from the live parallel schedule — so the
+// snapshot stays bit-identical at any pool width.
+func (e *Engine) publish(rep *Report) {
+	reg := e.Metrics
+	if reg == nil {
+		return
+	}
+	reg.Counter("resurrect_runs_total", "resurrection passes executed", nil).Inc()
+	for _, p := range rep.Procs {
+		reg.Counter("resurrect_candidates_total", "candidates by final outcome",
+			metrics.Labels{"outcome": p.Outcome.String()}).Inc()
+		for _, st := range p.Timeline {
+			l := metrics.Labels{"phase": st.Phase.String()}
+			reg.Histogram("resurrect_phase_ns", "virtual time per resurrection phase",
+				phaseDurBounds, l).Observe(int64(st.Duration))
+			reg.Histogram("resurrect_phase_bytes", "dead-kernel bytes read per resurrection phase",
+				phaseByteBounds, l).Observe(st.Bytes)
+			if st.Err != "" {
+				reg.Counter("resurrect_phase_errors_total", "phases that recorded an error",
+					l).Inc()
+			}
+		}
+	}
+	for _, d := range rep.PerCandidate {
+		reg.Histogram("resurrect_candidate_ns", "per-candidate scan+install virtual time",
+			phaseDurBounds, nil).Observe(int64(d))
+	}
+	cats := make([]string, 0, len(rep.Acct.ByCategory))
+	for cat := range rep.Acct.ByCategory {
+		cats = append(cats, cat)
+	}
+	sort.Strings(cats)
+	for _, cat := range cats {
+		reg.Counter("resurrect_read_bytes_total", "dead-kernel bytes read, by Table 4 category",
+			metrics.Labels{"category": cat}).Add(rep.Acct.ByCategory[cat])
+	}
+	reg.Gauge("resurrect_pagetable_fraction",
+		"page-table share of main-kernel data read (Table 4)", nil).Set(rep.Acct.PageTableFraction())
+	rep.Trace.CollectInto(reg)
+}

@@ -7,6 +7,7 @@ import (
 	"otherworld/internal/disk"
 	"otherworld/internal/kernel"
 	"otherworld/internal/layout"
+	"otherworld/internal/metrics"
 	"otherworld/internal/phys"
 	"otherworld/internal/sim"
 	"otherworld/internal/trace"
@@ -129,6 +130,11 @@ type scanner struct {
 	mapPages     bool
 	resurrectIPC bool
 	mainSwap     *disk.BlockDevice
+	// metrics is the shared registry; scan-side writes are counter adds
+	// whose values are pure functions of the candidate, so any worker
+	// interleaving folds to the same totals (commutative int adds under
+	// the registry lock).
+	metrics *metrics.Registry
 
 	// led is the worker's virtual-time ledger.
 	led time.Duration
@@ -150,6 +156,7 @@ func (e *Engine) newScanner(shard *Accounting, mainSwap *disk.BlockDevice) *scan
 		mapPages:     e.MapPages,
 		resurrectIPC: e.ResurrectIPC,
 		mainSwap:     mainSwap,
+		metrics:      e.Metrics,
 	}
 }
 
@@ -171,7 +178,8 @@ func (s *scanner) parseTime() { s.charge(s.cost.RecordParseOverhead) }
 func (s *scanner) scanOne(cand Candidate) *plan {
 	pl := &plan{cand: cand, phase: make(map[Phase]phaseScan)}
 	start := s.led
-	bytesMark := s.acct.total()
+	bytesAtStart := s.acct.total()
+	bytesMark := bytesAtStart
 	ledMark := s.led
 	rec := func(ph Phase, pages int) {
 		ps := phaseScan{
@@ -197,6 +205,12 @@ func (s *scanner) scanOne(cand Candidate) *plan {
 	}
 	done := func() *plan {
 		pl.scanDur = s.led - start
+		// Pool-side instrumentation: concurrent counter adds from
+		// whichever worker scanned this candidate.
+		s.metrics.Counter("resurrect_scans_total",
+			"candidates decoded by the scan pool", nil).Inc()
+		s.metrics.Counter("resurrect_scan_bytes_total",
+			"dead-kernel bytes read by the scan pool", nil).Add(s.acct.total() - bytesAtStart)
 		return pl
 	}
 

@@ -1,0 +1,41 @@
+package trace
+
+import "otherworld/internal/metrics"
+
+// CollectInto publishes the live ring's write-side tallies as collector-
+// style totals. Safe on a nil ring or nil registry.
+func (r *Ring) CollectInto(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("trace_events_written_total",
+		"events recorded into the flight-recorder ring", nil).SetTotal(int64(r.Seq()))
+	reg.Counter("trace_events_dropped_total",
+		"ring slot writes that failed and were swallowed", nil).SetTotal(int64(dropped(r)))
+	reg.Gauge("trace_ring_capacity_slots",
+		"slot capacity of the flight-recorder ring", nil).Set(float64(r.Capacity()))
+}
+
+func dropped(r *Ring) uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.Dropped
+}
+
+// CollectInto accumulates a salvage result: how much of a dead kernel's
+// ring survived re-parsing. Add semantics — each salvage is one more
+// recovery event, and a machine may cross several microreboots.
+func (p *Parsed) CollectInto(reg *metrics.Registry) {
+	if p == nil || reg == nil {
+		return
+	}
+	reg.Counter("trace_salvaged_events_total",
+		"events recovered from dead-kernel rings", nil).Add(int64(len(p.Events)))
+	reg.Counter("trace_salvaged_damaged_total",
+		"ring slots skipped as corrupted during salvage", nil).Add(int64(p.Damaged))
+	reg.Counter("trace_salvaged_empty_total",
+		"never-written ring slots seen during salvage", nil).Add(int64(p.Empty))
+	reg.Counter("trace_salvages_total",
+		"dead-kernel ring salvage passes", nil).Inc()
+}

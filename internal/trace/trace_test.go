@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"otherworld/internal/metrics"
 	"otherworld/internal/phys"
 )
 
@@ -110,6 +111,20 @@ func TestParseSkipsDamagedSlots(t *testing.T) {
 			t.Fatalf("events out of order: %d after %d", ev.Seq, last)
 		}
 		last = int64(ev.Seq)
+	}
+	// The corruption skip count must surface through the metrics plane,
+	// not evaporate once the salvage pass is done.
+	reg := metrics.NewRegistry()
+	p.CollectInto(reg)
+	s := reg.Snapshot()
+	if got := s.Get("trace_salvaged_damaged_total", nil); got == nil || got.Value != int64(len(corrupt)) {
+		t.Fatalf("trace_salvaged_damaged_total = %+v, want %d", got, len(corrupt))
+	}
+	if got := s.Get("trace_salvaged_events_total", nil); got == nil || got.Value != int64(len(p.Events)) {
+		t.Fatalf("trace_salvaged_events_total = %+v, want %d", got, len(p.Events))
+	}
+	if got := s.Get("trace_salvages_total", nil); got == nil || got.Value != 1 {
+		t.Fatalf("trace_salvages_total = %+v, want 1", got)
 	}
 }
 
