@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race fuzz-short owstat-smoke verify bench campaign
+.PHONY: build test vet lint race fuzz-short owstat-smoke verify bench bench-diff campaign
 
 build:
 	$(GO) build ./...
@@ -48,6 +48,12 @@ verify: build vet lint test race fuzz-short owstat-smoke
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# bench-diff re-measures the perf-trajectory scenarios at the checked-in
+# snapshot's seed and fails on any modeled-time metric regressing more
+# than 10% against BENCH_5.json (the worker-sweep baseline).
+bench-diff: build
+	$(GO) run ./cmd/owbench -bench-diff BENCH_5.json
 
 campaign:
 	$(GO) run ./cmd/owcampaign -n 100

@@ -242,6 +242,32 @@ func BenchmarkResurrectParallel(b *testing.B) {
 	}
 }
 
+// --- Campaign-level parallel execution (ISSUE 5) ----------------------------
+
+// BenchmarkCampaignParallel runs a small real vi campaign through the
+// parallel pool and sweeps the campaign schedule model over 1/2/4/8
+// workers. The committed per-experiment spans are width-independent (the
+// pool merges in seed order), so one campaign yields the whole sweep via
+// CampaignStats.ScheduleAt; speedup-4w-x is the acceptance metric (≥ 2× on
+// this scenario, asserted by TestCampaignParallelSpeedup in
+// internal/experiment).
+func BenchmarkCampaignParallel(b *testing.B) {
+	var stats *experiment.CampaignStats
+	for i := 0; i < b.N; i++ {
+		cfg := experiment.DefaultCampaign(4, 20100413)
+		cfg.Apps = []string{"vi"}
+		cfg.CampaignWorkers = 4
+		_, stats = experiment.RunTable5Campaign(cfg)
+	}
+	b.ReportMetric(float64(stats.Experiments), "experiments")
+	b.ReportMetric(stats.SerialMakespan.Seconds(), "serial-s")
+	b.ReportMetric(stats.Occupancy, "occupancy-4w")
+	for _, w := range []int{1, 2, 4, 8} {
+		b.ReportMetric(stats.ScheduleAt(w).Seconds(), fmt.Sprintf("sched-%dw-s", w))
+		b.ReportMetric(stats.SpeedupAt(w), fmt.Sprintf("speedup-%dw-x", w))
+	}
+}
+
 // --- Section 7: hot kernel update / rejuvenation ----------------------------
 
 // BenchmarkHotUpdateInterruption measures the planned-microreboot pause with

@@ -21,6 +21,9 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
+	"strings"
+	"time"
 
 	"otherworld/internal/apps"
 	"otherworld/internal/core"
@@ -44,6 +47,8 @@ func main() {
 	showTrace := flag.Bool("trace", false, "print table-5 failure attributions from the flight recorder")
 	traceJSON := flag.String("trace-json", "", "write table-5 failure attributions as JSON to this file")
 	resWorkers := flag.Int("resurrect-workers", 0, "resurrection pipeline workers for campaigns (0 = NumCPU); changes only the modeled interruption time")
+	campaignWorkers := flag.Int("campaign-workers", 0, "campaign pool width: whole experiments run concurrently (0 = NumCPU); results and published figures are identical at any width")
+	benchDiff := flag.String("bench-diff", "", "rebuild the bench snapshot and fail if any modeled-time metric regressed >10% against this baseline BENCH_N.json")
 	jsonOut := flag.String("json", "", "write a perf snapshot (per-benchmark custom metrics, seed, workers, metrics snapshot) as JSON to this file and exit; schema in EXPERIMENTS.md")
 	showMetrics := flag.Bool("metrics", false, "print the bench scenario's final metrics snapshot and exit")
 	metricsJSON := flag.String("metrics-json", "", "write the bench scenario's metrics snapshot (otherworld-metrics/1) to this file and exit")
@@ -75,8 +80,14 @@ func main() {
 		}()
 	}
 
+	if *benchDiff != "" {
+		if err := benchDiffMode(*benchDiff, *resWorkers, *campaignWorkers); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *jsonOut != "" || *showMetrics || *metricsJSON != "" {
-		if err := benchSnapshotMode(*jsonOut, *seed, *resWorkers, *showMetrics, *metricsJSON); err != nil {
+		if err := benchSnapshotMode(*jsonOut, *seed, *resWorkers, *campaignWorkers, *showMetrics, *metricsJSON); err != nil {
 			fatal(err)
 		}
 		return
@@ -122,8 +133,13 @@ func main() {
 		fmt.Printf("== Table 5: resurrection experiments (%d faulted runs/app; paper used 400)\n", *n)
 		cfg := experiment.DefaultCampaign(*n, *seed)
 		cfg.ResurrectWorkers = *resWorkers
-		rows := experiment.RunTable5(cfg)
+		cfg.CampaignWorkers = *campaignWorkers
+		rows, stats := experiment.RunTable5Campaign(cfg)
 		fmt.Print(experiment.RenderTable5(rows))
+		fmt.Printf("campaign schedule: %d experiments, %v of modeled work; %v at %d workers (%.2fx, %.0f%% pool occupancy)\n",
+			stats.Experiments, stats.TotalWork.Round(time.Second),
+			stats.Makespan.Round(time.Second), experiment.CanonicalCampaignWorkers,
+			stats.SpeedupAt(experiment.CanonicalCampaignWorkers), 100*stats.Occupancy)
 		for _, w := range experiment.Shortfalls(rows) {
 			fmt.Fprintln(os.Stderr, "owbench: warning: undershoot:", w)
 		}
@@ -202,11 +218,15 @@ func fatal(err error) {
 // a pure function of the seed and worker knobs.
 //
 // Schema history: otherworld-bench/1 had no Metrics field; /2 embeds the
-// bench scenario's final otherworld-metrics/1 snapshot. readSnapshot
-// accepts both, so the checked-in BENCH_3.json (a /1 file) stays readable.
+// bench scenario's final otherworld-metrics/1 snapshot; /3 adds the
+// campaign-worker sweep benchmark, the campaign_workers knob and the
+// install-phase fast-path counters (pages elided/deduped, flush extents) on
+// the resurrection scenario. readSnapshot accepts all three, so the
+// checked-in BENCH_3.json (a /1 file) stays readable.
 const (
 	benchSchemaV1 = "otherworld-bench/1"
 	benchSchemaV2 = "otherworld-bench/2"
+	benchSchemaV3 = "otherworld-bench/3"
 )
 
 type benchSnapshot struct {
@@ -217,8 +237,12 @@ type benchSnapshot struct {
 	// future regression that breaks that invariant is visible.
 	ResurrectWorkers int `json:"resurrect_workers"`
 	// CanonicalWorkers is the fixed width parallel columns render at.
-	CanonicalWorkers int          `json:"canonical_workers"`
-	Benchmarks       []benchEntry `json:"benchmarks"`
+	CanonicalWorkers int `json:"canonical_workers"`
+	// CampaignWorkers is the -campaign-workers knob (schema /3); like
+	// ResurrectWorkers it cannot change any metric below — the campaign
+	// sweep is quoted from the modeled schedule, not the live pool.
+	CampaignWorkers int          `json:"campaign_workers,omitempty"`
+	Benchmarks      []benchEntry `json:"benchmarks"`
 	// Metrics is the bench scenario machine's final metrics snapshot
 	// (schema /2 and later). Its logical_now_ns is normalized to zero —
 	// the one worker-schedule-dependent field, excluded here for the same
@@ -235,7 +259,7 @@ func readSnapshot(data []byte) (*benchSnapshot, error) {
 		return nil, err
 	}
 	switch s.Schema {
-	case benchSchemaV1, benchSchemaV2:
+	case benchSchemaV1, benchSchemaV2, benchSchemaV3:
 		return &s, nil
 	default:
 		return nil, fmt.Errorf("unknown bench snapshot schema %q", s.Schema)
@@ -250,8 +274,8 @@ type benchEntry struct {
 // benchSnapshotMode serves the three snapshot-flavored flags from ONE run
 // of the bench scenario: -json (the BENCH_N.json file), -metrics (render
 // the machine's registry), -metrics-json (the owstat-consumable file).
-func benchSnapshotMode(jsonPath string, seed int64, resWorkers int, show bool, metricsPath string) error {
-	snap, msnap, err := buildSnapshot(seed, resWorkers)
+func benchSnapshotMode(jsonPath string, seed int64, resWorkers, campaignWorkers int, show bool, metricsPath string) error {
+	snap, msnap, err := buildSnapshot(seed, resWorkers, campaignWorkers)
 	if err != nil {
 		return err
 	}
@@ -286,15 +310,18 @@ func benchSnapshotMode(jsonPath string, seed int64, resWorkers int, show bool, m
 
 // buildSnapshot measures the perf-trajectory scenarios and assembles the
 // BENCH_N snapshot: the multi-process parallel-resurrection sweep (the
-// ISSUE 3 acceptance scenario) and the Table 6 boot/interruption rows,
-// plus — since schema /2 — the scenario machine's metrics snapshot. The
-// un-normalized metrics snapshot is returned separately for -metrics.
-func buildSnapshot(seed int64, resWorkers int) (*benchSnapshot, *metrics.Snapshot, error) {
+// ISSUE 3 acceptance scenario, now with the install-phase fast-path
+// counters), the campaign-pool worker sweep (schema /3) and the Table 6
+// boot/interruption rows, plus — since schema /2 — the scenario machine's
+// metrics snapshot. The un-normalized metrics snapshot is returned
+// separately for -metrics.
+func buildSnapshot(seed int64, resWorkers, campaignWorkers int) (*benchSnapshot, *metrics.Snapshot, error) {
 	snap := &benchSnapshot{
-		Schema:           benchSchemaV2,
+		Schema:           benchSchemaV3,
 		Seed:             seed,
 		ResurrectWorkers: resWorkers,
 		CanonicalWorkers: resurrect.CanonicalWorkers,
+		CampaignWorkers:  campaignWorkers,
 	}
 
 	rep, m, err := multiMySQLRecovery(seed, resWorkers)
@@ -308,7 +335,39 @@ func buildSnapshot(seed int64, resWorkers int) (*benchSnapshot, *metrics.Snapsho
 		par.Metrics[fmt.Sprintf("sched-%dw-s", w)] = rep.ScheduleAt(w).Seconds()
 		par.Metrics[fmt.Sprintf("speedup-%dw-x", w)] = rep.SpeedupAt(w)
 	}
+	var elided, deduped, flushPages, flushExtents int
+	for _, p := range rep.Procs {
+		elided += p.PagesElided
+		deduped += p.PagesDeduped
+		flushPages += p.DirtyFlushed
+		flushExtents += p.FlushExtents
+	}
+	par.Metrics["pages-elided"] = float64(elided)
+	par.Metrics["pages-deduped"] = float64(deduped)
+	par.Metrics["fastpath-saved-KB"] = float64((elided + deduped) * 4)
+	par.Metrics["flush-pages"] = float64(flushPages)
+	par.Metrics["flush-extents"] = float64(flushExtents)
 	snap.Benchmarks = append(snap.Benchmarks, par)
+
+	// The campaign-pool sweep (schema /3): a small real vi campaign, its
+	// committed spans fed through the schedule model at every width. The
+	// figures come from CampaignStats, so the live -campaign-workers value
+	// changes host wall clock only.
+	ccfg := experiment.DefaultCampaign(4, seed)
+	ccfg.Apps = []string{"vi"}
+	ccfg.CampaignWorkers = campaignWorkers
+	ccfg.ResurrectWorkers = resWorkers
+	_, cstats := experiment.RunTable5Campaign(ccfg)
+	camp := benchEntry{Name: "campaign-parallel/vi", Metrics: map[string]float64{
+		"serial-s":     cstats.SerialMakespan.Seconds(),
+		"experiments":  float64(cstats.Experiments),
+		"occupancy-4w": cstats.Occupancy,
+	}}
+	for _, w := range []int{1, 2, 4, 8} {
+		camp.Metrics[fmt.Sprintf("sched-%dw-s", w)] = cstats.ScheduleAt(w).Seconds()
+		camp.Metrics[fmt.Sprintf("speedup-%dw-x", w)] = cstats.SpeedupAt(w)
+	}
+	snap.Benchmarks = append(snap.Benchmarks, camp)
 
 	rows, err := experiment.RunTable6(seed)
 	if err != nil {
@@ -335,7 +394,11 @@ func buildSnapshot(seed int64, resWorkers int) (*benchSnapshot, *metrics.Snapsho
 // multiMySQLRecovery crashes a machine running eight MySQL servers and
 // returns the resurrection report plus the recovered machine (its registry
 // now holds the full crash-and-resurrect trajectory) — the same scenario
-// as BenchmarkResurrectParallel in bench_test.go.
+// as BenchmarkResurrectParallel in bench_test.go, warmed with real client
+// traffic first. The warm-up matters for the fast-path counters: serving
+// requests demand-faults each server's row arena (~70 pages, almost all
+// still zero), so the resurrection scan sees the zero-elision and dedup
+// opportunities a freshly-booted idle server would not expose.
 func multiMySQLRecovery(seed int64, resWorkers int) (*resurrect.Report, *core.Machine, error) {
 	opts := core.DefaultOptions()
 	opts.HW = hw.Config{MemoryBytes: 256 << 20, NumCPUs: 2, TLBEntries: 64, WatchdogEnabled: true}
@@ -351,7 +414,12 @@ func multiMySQLRecovery(seed int64, resWorkers int) (*resurrect.Report, *core.Ma
 			return nil, nil, err
 		}
 	}
-	m.Run(200)
+	// The servers share the listen port; the deterministic scheduler spreads
+	// the queued inserts round-robin, so every server handles traffic.
+	for i := 0; i < 96; i++ {
+		m.Net.Deliver(apps.MySQLPort, []byte(fmt.Sprintf("I %d warm-%04d", i+1, i)))
+	}
+	m.Run(600)
 	//owvet:allow errdrop: InjectOops always returns the injected panic; recovery is checked below
 	_ = m.K.InjectOops("bench snapshot")
 	out, err := m.HandleFailure()
@@ -362,6 +430,73 @@ func multiMySQLRecovery(seed int64, resWorkers int) (*resurrect.Report, *core.Ma
 		return nil, nil, fmt.Errorf("transfer failed: %s", out.Transfer.Reason)
 	}
 	return out.Report, m, nil
+}
+
+// benchDiffMode rebuilds the bench snapshot in-process with the baseline's
+// seed and compares every modeled-time metric (the "-s"-suffixed series):
+// any that grew more than 10% over the baseline is a regression and the
+// command exits non-zero. Improvements and new benchmarks pass; a benchmark
+// present in the baseline but missing from the rebuild fails.
+func benchDiffMode(path string, resWorkers, campaignWorkers int) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	base, err := readSnapshot(data)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	cur, _, err := buildSnapshot(base.Seed, resWorkers, campaignWorkers)
+	if err != nil {
+		return err
+	}
+	curByName := make(map[string]benchEntry, len(cur.Benchmarks))
+	for _, b := range cur.Benchmarks {
+		curByName[b.Name] = b
+	}
+	const tolerance = 0.10
+	regressions := 0
+	for _, ob := range base.Benchmarks {
+		nb, ok := curByName[ob.Name]
+		if !ok {
+			fmt.Printf("MISSING  %-28s (present in baseline, absent now)\n", ob.Name)
+			regressions++
+			continue
+		}
+		names := make([]string, 0, len(ob.Metrics))
+		for name := range ob.Metrics {
+			if strings.HasSuffix(name, "-s") {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			ov := ob.Metrics[name]
+			nv, have := nb.Metrics[name]
+			if !have {
+				fmt.Printf("MISSING  %-28s %s (metric dropped)\n", ob.Name, name)
+				regressions++
+				continue
+			}
+			delta := 0.0
+			if ov > 0 {
+				delta = (nv - ov) / ov
+			}
+			status := "ok      "
+			if nv > ov*(1+tolerance) {
+				status = "REGRESSED"
+				regressions++
+			}
+			fmt.Printf("%s %-28s %-22s %10.3fs -> %10.3fs (%+.1f%%)\n",
+				status, ob.Name, name, ov, nv, 100*delta)
+		}
+	}
+	if regressions > 0 {
+		return fmt.Errorf("%d modeled-time metric(s) regressed >%d%% against %s",
+			regressions, int(100*tolerance), path)
+	}
+	fmt.Printf("no modeled-time regressions against %s (tolerance %d%%)\n", path, int(100*tolerance))
+	return nil
 }
 
 // checkpointComparison measures BLCR-style checkpoints to memory and disk.

@@ -10,7 +10,7 @@ import (
 
 // TestReadSnapshotCompatV1 pins backward compatibility: the checked-in
 // BENCH_3.json predates the metrics embedding (schema /1) and must keep
-// decoding after the bump to /2.
+// decoding after the bumps to /2 and /3.
 func TestReadSnapshotCompatV1(t *testing.T) {
 	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_3.json"))
 	if err != nil {
@@ -40,19 +40,60 @@ func TestReadSnapshotRejectsUnknownSchema(t *testing.T) {
 	}
 }
 
-// TestBuildSnapshotV2 runs the real bench scenario once and checks the /2
-// shape: the old fields are still there, the embedded metrics snapshot
-// carries the resurrection counters, and its logical stamp is normalized
-// so the file stays a pure function of the seed at any worker width.
-func TestBuildSnapshotV2(t *testing.T) {
+// TestReadSnapshotCompatV2 pins the /2 shape: an embedded metrics snapshot
+// but no campaign_workers knob and no campaign sweep entry. Files written
+// by the previous binary must keep decoding after the bump to /3.
+func TestReadSnapshotCompatV2(t *testing.T) {
+	v2 := []byte(`{
+		"schema": "otherworld-bench/2",
+		"seed": 20100413,
+		"resurrect_workers": 2,
+		"canonical_workers": 4,
+		"benchmarks": [
+			{"name": "resurrect-parallel/mysql-x8",
+			 "metrics": {"serial-s": 56.0, "sched-4w-s": 14.0}}
+		],
+		"metrics": {
+			"schema": "otherworld-metrics/1",
+			"logical_now_ns": 0,
+			"metrics": [
+				{"name": "resurrect_runs_total", "kind": "counter", "value": 1}
+			]
+		}
+	}`)
+	s, err := readSnapshot(v2)
+	if err != nil {
+		t.Fatalf("v2 snapshot no longer decodes: %v", err)
+	}
+	if s.Schema != benchSchemaV2 || s.CampaignWorkers != 0 {
+		t.Fatalf("schema=%q campaign_workers=%d, want /2 with zero knob",
+			s.Schema, s.CampaignWorkers)
+	}
+	if s.Metrics == nil || s.Metrics.LogicalNowNS != 0 {
+		t.Fatalf("v2 embedded metrics mangled: %+v", s.Metrics)
+	}
+	if p := s.Metrics.Get("resurrect_runs_total", nil); p == nil || p.Value != 1 {
+		t.Fatalf("resurrect_runs_total = %+v", p)
+	}
+	if len(s.Benchmarks) != 1 || s.Benchmarks[0].Metrics["serial-s"] != 56.0 {
+		t.Fatalf("v2 benchmarks mangled: %+v", s.Benchmarks)
+	}
+}
+
+// TestBuildSnapshotV3 runs the real bench scenario once and checks the /3
+// shape: the /2 fields are still there (embedded metrics, normalized
+// logical stamp), the resurrection entry now carries the install fast-path
+// counters — nonzero elided and deduped pages on the warmed 8-server MySQL
+// scenario — and the campaign-pool sweep entry quotes the schedule model.
+func TestBuildSnapshotV3(t *testing.T) {
 	if testing.Short() {
 		t.Skip("bench scenario in -short mode")
 	}
-	snap, msnap, err := buildSnapshot(20100413, 1)
+	snap, msnap, err := buildSnapshot(20100413, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if snap.Schema != benchSchemaV2 {
+	if snap.Schema != benchSchemaV3 {
 		t.Fatalf("schema = %q", snap.Schema)
 	}
 	if len(snap.Benchmarks) == 0 {
@@ -70,5 +111,74 @@ func TestBuildSnapshotV2(t *testing.T) {
 	// The un-normalized snapshot for -metrics keeps the live stamp.
 	if msnap.LogicalNowNS == 0 {
 		t.Fatal("live snapshot lost its logical stamp")
+	}
+	byName := map[string]map[string]float64{}
+	for _, b := range snap.Benchmarks {
+		byName[b.Name] = b.Metrics
+	}
+	res := byName["resurrect-parallel/mysql-x8"]
+	if res == nil {
+		t.Fatal("resurrect-parallel/mysql-x8 entry missing")
+	}
+	if res["pages-elided"] <= 0 || res["pages-deduped"] <= 0 {
+		t.Fatalf("fast path idle on 8xMySQL: elided=%v deduped=%v",
+			res["pages-elided"], res["pages-deduped"])
+	}
+	if want := (res["pages-elided"] + res["pages-deduped"]) * 4; res["fastpath-saved-KB"] != want {
+		t.Fatalf("fastpath-saved-KB = %v, want %v", res["fastpath-saved-KB"], want)
+	}
+	camp := byName["campaign-parallel/vi"]
+	if camp == nil {
+		t.Fatal("campaign-parallel/vi entry missing")
+	}
+	if camp["serial-s"] <= 0 || camp["experiments"] <= 0 {
+		t.Fatalf("campaign sweep empty: %+v", camp)
+	}
+	// The sweep must be monotone and the 4-worker point meaningfully
+	// parallel — this is the schedule model, so it holds at any knob.
+	if !(camp["sched-8w-s"] <= camp["sched-4w-s"] &&
+		camp["sched-4w-s"] <= camp["sched-2w-s"] &&
+		camp["sched-2w-s"] <= camp["sched-1w-s"]) {
+		t.Fatalf("campaign sweep not monotone: %+v", camp)
+	}
+	if camp["speedup-4w-x"] < 2 {
+		t.Fatalf("speedup-4w-x = %v, want >= 2", camp["speedup-4w-x"])
+	}
+}
+
+// TestBuildSnapshotKnobInvariance pins the /3 contract that the live
+// -campaign-workers and -resurrect-workers knobs change host wall clock
+// only: every recorded figure is a pure function of the seed.
+func TestBuildSnapshotKnobInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench scenario in -short mode")
+	}
+	a, _, err := buildSnapshot(20100413, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := buildSnapshot(20100413, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Metrics.Fingerprint() != b.Metrics.Fingerprint() {
+		t.Fatalf("metrics fingerprint depends on worker knobs: %s vs %s",
+			a.Metrics.Fingerprint(), b.Metrics.Fingerprint())
+	}
+	if len(a.Benchmarks) != len(b.Benchmarks) {
+		t.Fatalf("benchmark count depends on worker knobs: %d vs %d",
+			len(a.Benchmarks), len(b.Benchmarks))
+	}
+	for i := range a.Benchmarks {
+		if a.Benchmarks[i].Name != b.Benchmarks[i].Name {
+			t.Fatalf("benchmark order depends on worker knobs: %q vs %q",
+				a.Benchmarks[i].Name, b.Benchmarks[i].Name)
+		}
+		for k, v := range a.Benchmarks[i].Metrics {
+			if bv := b.Benchmarks[i].Metrics[k]; bv != v {
+				t.Fatalf("%s %s depends on worker knobs: %v vs %v",
+					a.Benchmarks[i].Name, k, v, bv)
+			}
+		}
 	}
 }

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	owcampaign [-n perApp] [-seed n] [-apps csv] [-hardening on|off]
-//	           [-nocrc] [-noprotected] [-workers n] [-resurrect-workers n]
+//	           [-nocrc] [-noprotected] [-campaign-workers n]
+//	           [-workers n] [-resurrect-workers n]
 //	           [-trace] [-trace-json f] [-metrics] [-metrics-json f]
 //
 // The paper ran 400 faulted experiments per application; -n 400 reproduces
@@ -38,7 +39,8 @@ func main() {
 	hardening := flag.String("hardening", "on", "Section 6 hardening fixes: on or off")
 	nocrc := flag.Bool("nocrc", false, "disable record checksums (Section 4 ablation)")
 	noprotected := flag.Bool("noprotected", false, "skip the protected-mode corruption pass")
-	workers := flag.Int("workers", 0, "parallel workers (0 = NumCPU)")
+	workers := flag.Int("workers", 0, "parallel workers (0 = NumCPU); older spelling of -campaign-workers")
+	campaignWorkers := flag.Int("campaign-workers", 0, "campaign pool width: whole experiments run concurrently (0 = -workers, then NumCPU); the table, attributions and metrics are bit-identical at any width")
 	resWorkers := flag.Int("resurrect-workers", 0, "per-experiment resurrection pipeline workers (0 = NumCPU); changes only the modeled interruption time")
 	jsonOut := flag.String("json", "", "also write the rows as JSON to this file")
 	showTrace := flag.Bool("trace", false, "print per-application failure attributions from the flight recorder")
@@ -50,6 +52,7 @@ func main() {
 
 	cfg := experiment.DefaultCampaign(*n, *seed)
 	cfg.Workers = *workers
+	cfg.CampaignWorkers = *campaignWorkers
 	cfg.ResurrectWorkers = *resWorkers
 	cfg.SkipProtected = *noprotected
 	cfg.VerifyCRC = !*nocrc
@@ -84,11 +87,15 @@ func main() {
 		*n, *seed, *hardening, cfg.VerifyCRC)
 	//owvet:allow nodeterminism: wall-clock stopwatch for the progress report; campaign results depend only on -seed
 	start := time.Now()
-	rows := experiment.RunTable5(cfg)
+	rows, stats := experiment.RunTable5Campaign(cfg)
 	if !*quiet {
 		fmt.Fprint(os.Stderr, "\r\033[K")
 	}
 	fmt.Print(experiment.RenderTable5(rows))
+	fmt.Printf("campaign schedule: %d experiments, %v of modeled work; %v at %d workers (%.2fx, %.0f%% pool occupancy)\n",
+		stats.Experiments, stats.TotalWork.Round(time.Second),
+		stats.Makespan.Round(time.Second), experiment.CanonicalCampaignWorkers,
+		stats.SpeedupAt(experiment.CanonicalCampaignWorkers), 100*stats.Occupancy)
 
 	for _, w := range experiment.Shortfalls(rows) {
 		fmt.Fprintln(os.Stderr, "owcampaign: warning: undershoot:", w)

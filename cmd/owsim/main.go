@@ -36,6 +36,7 @@ func main() {
 	protect := flag.Bool("protect", false, "enable user-space protection (Section 4)")
 	noharden := flag.Bool("noharden", false, "disable the Section 6 hardening fixes")
 	resWorkers := flag.Int("resurrect-workers", 0, "resurrection pipeline workers (0 = NumCPU); changes only the modeled interruption time")
+	flag.Int("campaign-workers", 0, "accepted for flag parity with owcampaign/owbench sweep scripts; a single narrated run has no campaign pool")
 	showMetrics := flag.Bool("metrics", false, "print the final metrics snapshot")
 	metricsJSON := flag.String("metrics-json", "", "write the final metrics snapshot as JSON to this file")
 	flag.Parse()

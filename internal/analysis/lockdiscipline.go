@@ -7,8 +7,9 @@ import (
 	"sort"
 )
 
-// LockDiscipline polices the concurrent packages (the experiment worker
-// pool, the trace ring) beyond what go vet's copylocks catches:
+// LockDiscipline polices the concurrent packages (the campaign worker
+// pool in experiment, the machine core it drives, the trace ring) beyond
+// what go vet's copylocks catches:
 //
 //   - sync.Mutex/RWMutex (or structs containing one) passed or returned by
 //     value, which silently forks the lock;
@@ -20,7 +21,7 @@ var LockDiscipline = &Analyzer{
 	Name: "lockdiscipline",
 	Doc: "flag lock-by-value copies and return-while-locked patterns in " +
 		"the concurrent packages",
-	Scope: []string{"internal/experiment", "internal/trace"},
+	Scope: []string{"internal/experiment", "internal/trace", "internal/core"},
 	Run:   runLockDiscipline,
 }
 

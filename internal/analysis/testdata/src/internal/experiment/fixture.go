@@ -71,6 +71,32 @@ func sumMap(m map[string]int) int {
 	return total
 }
 
+// campaignMergeUnsorted mimics the campaign pool's commit step folding
+// per-slot attribution tallies into rows: ranging the map straight into the
+// output reintroduces exactly the run-to-run ordering jitter the pool's
+// seed-order commit exists to prevent.
+type mergeRow struct {
+	reason string
+	count  int
+}
+
+func campaignMergeUnsorted(attribs map[string]int) []mergeRow {
+	var rows []mergeRow
+	for reason, n := range attribs { // want `never sorted`
+		rows = append(rows, mergeRow{reason, n})
+	}
+	return rows
+}
+
+func campaignMergeSorted(attribs map[string]int) []mergeRow {
+	rows := make([]mergeRow, 0, len(attribs))
+	for reason, n := range attribs {
+		rows = append(rows, mergeRow{reason, n})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].reason < rows[j].reason })
+	return rows
+}
+
 func allowedClock() time.Duration {
 	//owvet:allow nodeterminism: fixture demonstrates the escape hatch
 	return time.Since(time.Unix(0, 0))

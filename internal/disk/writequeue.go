@@ -1,0 +1,73 @@
+package disk
+
+import "sort"
+
+// WriteQueue is the small write-combining queue the resurrection install
+// phase flushes dirty page-cache pages through: writes are buffered, then
+// Flush issues them sorted by (path, offset) with adjacent same-path runs
+// merged into single extents — the batched, block-sorted schedule a real
+// elevator would produce. The caller charges one seek per extent
+// (sim.CostModel.DiskBatchCost), so coalescing is visible in modeled time
+// as well as in the extent counters.
+//
+// Determinism: Flush's write order is a pure function of the enqueued set.
+// The sort is stable, so writes to the same offset land in enqueue order
+// (last write wins, as with the unbatched path).
+type WriteQueue struct {
+	pending []queuedWrite
+}
+
+type queuedWrite struct {
+	path string
+	off  int64
+	data []byte
+}
+
+// Enqueue buffers one write. The data slice is referenced, not copied; the
+// caller must not mutate it before Flush.
+func (q *WriteQueue) Enqueue(path string, off int64, data []byte) {
+	q.pending = append(q.pending, queuedWrite{path: path, off: off, data: data})
+}
+
+// Pending reports the number of buffered writes.
+func (q *WriteQueue) Pending() int { return len(q.pending) }
+
+// Flush issues every buffered write through the callback in (path, offset)
+// order, merging runs of exactly adjacent same-path writes into single
+// extents. It returns the number of extents issued and the total payload
+// bytes, then empties the queue. On a write error the queue still empties;
+// the error is returned after the failing extent.
+func (q *WriteQueue) Flush(write func(path string, off int64, data []byte) error) (extents int, bytes int64, err error) {
+	pend := q.pending
+	q.pending = nil
+	if len(pend) == 0 {
+		return 0, 0, nil
+	}
+	sort.SliceStable(pend, func(i, j int) bool {
+		if pend[i].path != pend[j].path {
+			return pend[i].path < pend[j].path
+		}
+		return pend[i].off < pend[j].off
+	})
+	for i := 0; i < len(pend); {
+		// Grow the extent while the next write starts exactly where this
+		// one ends; overlapping or gapped writes start a new extent.
+		run := pend[i].data
+		end := pend[i].off + int64(len(pend[i].data))
+		j := i + 1
+		for ; j < len(pend); j++ {
+			if pend[j].path != pend[i].path || pend[j].off != end {
+				break
+			}
+			run = append(run[:len(run):len(run)], pend[j].data...)
+			end += int64(len(pend[j].data))
+		}
+		extents++
+		bytes += int64(len(run))
+		if werr := write(pend[i].path, pend[i].off, run); werr != nil {
+			return extents, bytes, werr
+		}
+		i = j
+	}
+	return extents, bytes, nil
+}

@@ -1,0 +1,158 @@
+package disk
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+type recordedWrite struct {
+	path string
+	off  int64
+	data []byte
+}
+
+func record(log *[]recordedWrite) func(string, int64, []byte) error {
+	return func(path string, off int64, data []byte) error {
+		cp := append([]byte(nil), data...)
+		*log = append(*log, recordedWrite{path, off, cp})
+		return nil
+	}
+}
+
+func TestWriteQueueMergesAdjacentRuns(t *testing.T) {
+	var q WriteQueue
+	// Enqueue out of order, across two files, with one gap on "a".
+	q.Enqueue("a", 8, []byte("CD"))
+	q.Enqueue("b", 0, []byte("xy"))
+	q.Enqueue("a", 0, []byte("AB"))
+	q.Enqueue("a", 2, []byte("ab"))
+	q.Enqueue("a", 4, []byte("cd"))
+	if q.Pending() != 5 {
+		t.Fatalf("Pending = %d, want 5", q.Pending())
+	}
+	var log []recordedWrite
+	extents, n, err := q.Flush(record(&log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Pending() != 0 {
+		t.Fatalf("queue not emptied: %d pending", q.Pending())
+	}
+	// a:[0,6) merges three writes; a:[8,10) is gapped; b:[0,2) is its own.
+	want := []recordedWrite{
+		{"a", 0, []byte("ABabcd")},
+		{"a", 8, []byte("CD")},
+		{"b", 0, []byte("xy")},
+	}
+	if extents != 3 || n != 10 {
+		t.Fatalf("extents=%d bytes=%d, want 3/10", extents, n)
+	}
+	for i, w := range want {
+		if log[i].path != w.path || log[i].off != w.off || !bytes.Equal(log[i].data, w.data) {
+			t.Fatalf("extent %d = %+v, want %+v", i, log[i], w)
+		}
+	}
+}
+
+// TestWriteQueueDoesNotClobberSources pins the aliasing hazard in extent
+// merging: when queued buffers are adjacent slices of one backing array,
+// growing the first buffer with a plain append would overwrite the second
+// buffer in place before it is read. The merge must copy instead.
+func TestWriteQueueDoesNotClobberSources(t *testing.T) {
+	backing := []byte("0123456789abcdef")
+	first := backing[0 : 8 : 8+8] // capacity deliberately reaches into the second half
+	second := backing[8:16]
+	var q WriteQueue
+	q.Enqueue("f", 0, first)
+	q.Enqueue("f", 8, second)
+	var log []recordedWrite
+	extents, n, err := q.Flush(record(&log))
+	if err != nil || extents != 1 || n != 16 {
+		t.Fatalf("extents=%d bytes=%d err=%v", extents, n, err)
+	}
+	if got := string(log[0].data); got != "0123456789abcdef" {
+		t.Fatalf("merged extent = %q, want the original bytes", got)
+	}
+	if string(backing) != "0123456789abcdef" {
+		t.Fatalf("merge mutated a source buffer: %q", backing)
+	}
+}
+
+func TestWriteQueueEnqueueOrderIrrelevant(t *testing.T) {
+	pages := map[int64][]byte{}
+	for i := int64(0); i < 8; i++ {
+		pages[i*4] = []byte(fmt.Sprintf("pg%02d", i))
+	}
+	flush := func(order []int64) []recordedWrite {
+		var q WriteQueue
+		for _, off := range order {
+			q.Enqueue("f", off, pages[off])
+		}
+		var log []recordedWrite
+		if _, _, err := q.Flush(record(&log)); err != nil {
+			t.Fatal(err)
+		}
+		return log
+	}
+	a := flush([]int64{0, 4, 8, 12, 16, 20, 24, 28})
+	b := flush([]int64{28, 12, 0, 20, 8, 4, 24, 16})
+	if len(a) != 1 || len(b) != 1 || !bytes.Equal(a[0].data, b[0].data) {
+		t.Fatalf("flush depends on enqueue order:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+func TestWriteQueueSameOffsetLastWriteWins(t *testing.T) {
+	var q WriteQueue
+	q.Enqueue("f", 0, []byte("old!"))
+	q.Enqueue("f", 0, []byte("new!"))
+	var log []recordedWrite
+	if _, _, err := q.Flush(record(&log)); err != nil {
+		t.Fatal(err)
+	}
+	// The stable sort keeps enqueue order for equal offsets, so the later
+	// write lands last — the same final contents as the unbatched path.
+	last := log[len(log)-1]
+	if !bytes.Equal(last.data, []byte("new!")) {
+		t.Fatalf("last write = %q, want the later enqueue", last.data)
+	}
+}
+
+func TestWriteQueueErrorStopsAfterFailingExtent(t *testing.T) {
+	var q WriteQueue
+	q.Enqueue("a", 0, []byte("aa"))
+	q.Enqueue("b", 0, []byte("bb"))
+	q.Enqueue("c", 0, []byte("cc"))
+	boom := errors.New("disk full")
+	calls := 0
+	extents, n, err := q.Flush(func(string, int64, []byte) error {
+		calls++
+		if calls == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the writer's error", err)
+	}
+	// The failing extent is counted, later extents are not attempted, and
+	// the queue is empty either way.
+	if extents != 2 || n != 4 || calls != 2 {
+		t.Fatalf("extents=%d bytes=%d calls=%d, want 2/4/2", extents, n, calls)
+	}
+	if q.Pending() != 0 {
+		t.Fatal("queue should empty even on error")
+	}
+}
+
+func TestWriteQueueEmptyFlush(t *testing.T) {
+	var q WriteQueue
+	extents, n, err := q.Flush(func(string, int64, []byte) error {
+		t.Fatal("writer called on empty queue")
+		return nil
+	})
+	if extents != 0 || n != 0 || err != nil {
+		t.Fatalf("empty flush = %d/%d/%v", extents, n, err)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"otherworld/internal/core"
 	"otherworld/internal/kernel"
 	"otherworld/internal/metrics"
 	"otherworld/internal/resurrect"
@@ -68,8 +69,14 @@ type CampaignConfig struct {
 	// VerifyCRC enables record checksums (the Section 4 ablation flips
 	// this).
 	VerifyCRC bool
-	// Workers bounds experiment-level parallelism (NumCPU by default):
-	// how many whole experiments run concurrently.
+	// CampaignWorkers bounds campaign-level parallelism: how many whole
+	// experiments run concurrently (0 falls back to Workers, then NumCPU).
+	// Every tallied result, metrics increment and progress tick is
+	// bit-identical at any width: the pool speculates ahead but commits
+	// strictly in seed order.
+	CampaignWorkers int
+	// Workers is the older name for the same knob, kept for callers that
+	// predate CampaignWorkers; it applies only when CampaignWorkers is 0.
 	Workers int
 	// ResurrectWorkers is the per-experiment resurrection pipeline width
 	// (0 = NumCPU). It only changes each experiment's modeled parallel
@@ -154,12 +161,33 @@ func passSeedSalt(appIdx, pass, passCount int) int64 {
 	return (int64(appIdx)*int64(passCount) + int64(pass) + 1) << 44
 }
 
-// runCampaignPass collects `want` faulted experiments for one app.
-func runCampaignPass(cfg CampaignConfig, app string, protection bool, want int, seedSalt int64) tally {
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.NumCPU()
+// campaignWorkers resolves the effective campaign pool width.
+func (cfg CampaignConfig) campaignWorkers() int {
+	w := cfg.CampaignWorkers
+	if w <= 0 {
+		w = cfg.Workers
 	}
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	return w
+}
+
+// runCampaignPass collects `want` faulted experiments for one app. It
+// returns the pass tally plus the modeled duration of every committed
+// attempt, in commit order, for the pool schedule model.
+//
+// Determinism at any width: workers execute seeds speculatively, but a
+// finished experiment parks in its seed-indexed slot until every earlier
+// seed has been tallied. A commit cursor under the pass mutex then folds
+// slots in strict seed order and stops the moment the faulted-run quota is
+// met — exactly where a serial loop would have stopped. The committed
+// prefix (and with it every tally, metrics increment and progress tick) is
+// therefore a pure function of the seed; speculative runs past the stop
+// point are dropped unobserved. A bounded window keeps workers from racing
+// arbitrarily far ahead of the commit cursor.
+func runCampaignPass(cfg CampaignConfig, app string, protection bool, want int, seedSalt int64) (tally, []time.Duration) {
+	workers := cfg.campaignWorkers()
 	if workers > want {
 		workers = want
 	}
@@ -172,35 +200,51 @@ func runCampaignPass(cfg CampaignConfig, app string, protection bool, want int, 
 	if protection {
 		passName = "protected"
 	}
-	passLabels := metrics.Labels{"app": app, "pass": passName}
 	runOne := cfg.runExperiment
 	if runOne == nil {
 		runOne = Run
 	}
-	var mu sync.Mutex
-	var wg sync.WaitGroup
 	// Generous attempt budget: ~20% of runs are expected to be no-fault.
 	attempts := want * 3
-	attempted := 0
-	work := make(chan int64, attempts)
-	for i := 0; i < attempts; i++ {
-		work <- cfg.Seed + seedSalt + int64(i)*7919
+	window := workers * 2
+	if window < 8 {
+		window = 8
 	}
-	close(work)
 
+	type slot struct {
+		res  Result
+		done bool
+	}
+	var (
+		slots     = make([]slot, attempts)
+		mu        sync.Mutex
+		cond      = sync.NewCond(&mu)
+		next      int // next seed index to hand to a worker
+		commit    int // next seed index to tally
+		attempted int // committed attempts (faulted + discarded)
+		stopped   bool
+		spans     []time.Duration
+	)
+
+	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for seed := range work {
+			for {
 				mu.Lock()
-				if t.n >= want {
+				for !stopped && next < attempts && next >= commit+window {
+					cond.Wait()
+				}
+				if stopped || next >= attempts {
 					mu.Unlock()
 					return
 				}
+				i := next
+				next++
 				mu.Unlock()
 
-				ecfg := DefaultConfig(app, seed)
+				ecfg := DefaultConfig(app, cfg.Seed+seedSalt+int64(i)*7919)
 				ecfg.Protection = protection
 				ecfg.Hardening = cfg.Hardening
 				ecfg.VerifyCRC = cfg.VerifyCRC
@@ -211,53 +255,67 @@ func runCampaignPass(cfg CampaignConfig, app string, protection bool, want int, 
 				res := runOne(ecfg)
 
 				mu.Lock()
-				attempted++
-				if res.Outcome == OutcomeNoKernelFault {
-					t.discarded++
-					cfg.Metrics.Counter("campaign_discarded_total",
-						"injections that never caused a kernel failure", passLabels).Inc()
-					notifyProgress(cfg, app, protection, &t, want, attempted)
-					mu.Unlock()
-					continue
-				}
-				if t.n >= want {
-					mu.Unlock()
-					return
-				}
-				t.n++
-				outLabels := metrics.Labels{"app": app, "pass": passName, "outcome": res.Outcome.String()}
-				cfg.Metrics.Counter("campaign_runs_total",
-					"faulted experiments by outcome", outLabels).Inc()
-				switch res.Outcome {
-				case OutcomeSuccess:
-					t.success++
-					t.interruption += res.Interruption
-					t.parInterruption += res.ParallelInterruption
-				case OutcomeBootFailure:
-					t.boot++
-				case OutcomeResurrectFailure:
-					t.resurrect++
-					if res.StructCorruption {
-						t.structCorrupt++
-					}
-				case OutcomeDataCorruption:
-					t.corrupt++
-				}
-				if res.Outcome != OutcomeSuccess && res.Detail != nil {
-					t.attribs[res.Detail.Attribution]++
-					if pk := res.Detail.PanicKind; pk != "" {
-						cfg.Metrics.Counter("campaign_fault_kinds_total",
-							"non-success runs by dead-kernel panic kind",
-							metrics.Labels{"app": app, "panic": pk}).Inc()
+				slots[i] = slot{res: res, done: true}
+				for !stopped && commit < attempts && slots[commit].done {
+					r := slots[commit].res
+					slots[commit] = slot{} // release the run's trace/report memory
+					commit++
+					attempted++
+					spans = append(spans, r.Duration)
+					commitResult(cfg, app, protection, passName, &t, want, attempted, r)
+					if t.n >= want {
+						stopped = true
 					}
 				}
-				notifyProgress(cfg, app, protection, &t, want, attempted)
+				cond.Broadcast()
 				mu.Unlock()
 			}
 		}()
 	}
 	wg.Wait()
-	return t
+	return t, spans
+}
+
+// commitResult folds one committed experiment into the pass tally. The pass
+// mutex is held: metrics increments and progress ticks happen in commit
+// order, so the registry and the live ticker replay identically at any
+// pool width.
+func commitResult(cfg CampaignConfig, app string, protection bool, passName string, t *tally, want, attempted int, res Result) {
+	if res.Outcome == OutcomeNoKernelFault {
+		t.discarded++
+		cfg.Metrics.Counter("campaign_discarded_total",
+			"injections that never caused a kernel failure",
+			metrics.Labels{"app": app, "pass": passName}).Inc()
+		notifyProgress(cfg, app, protection, t, want, attempted)
+		return
+	}
+	t.n++
+	cfg.Metrics.Counter("campaign_runs_total", "faulted experiments by outcome",
+		metrics.Labels{"app": app, "pass": passName, "outcome": res.Outcome.String()}).Inc()
+	switch res.Outcome {
+	case OutcomeSuccess:
+		t.success++
+		t.interruption += res.Interruption
+		t.parInterruption += res.ParallelInterruption
+	case OutcomeBootFailure:
+		t.boot++
+	case OutcomeResurrectFailure:
+		t.resurrect++
+		if res.StructCorruption {
+			t.structCorrupt++
+		}
+	case OutcomeDataCorruption:
+		t.corrupt++
+	}
+	if res.Outcome != OutcomeSuccess && res.Detail != nil {
+		t.attribs[res.Detail.Attribution]++
+		if pk := res.Detail.PanicKind; pk != "" {
+			cfg.Metrics.Counter("campaign_fault_kinds_total",
+				"non-success runs by dead-kernel panic kind",
+				metrics.Labels{"app": app, "panic": pk}).Inc()
+		}
+	}
+	notifyProgress(cfg, app, protection, t, want, attempted)
 }
 
 // notifyProgress fires the live-progress callback; the tally mutex is held.
@@ -275,17 +333,69 @@ func notifyProgress(cfg CampaignConfig, app string, protection bool, t *tally, w
 	})
 }
 
+// CanonicalCampaignWorkers is the pool width the campaign's published
+// schedule figures are quoted at, so campaign output never depends on the
+// host the campaign happened to run on (the same convention as
+// resurrect.CanonicalWorkers).
+const CanonicalCampaignWorkers = 4
+
+// CampaignStats summarizes the campaign pool's modeled schedule: every
+// committed experiment's virtual duration fed through core.PoolSchedule.
+// All published fields are quoted at CanonicalCampaignWorkers (plus the
+// serial baseline), so they are identical at any live pool width.
+type CampaignStats struct {
+	// Workers is the live pool width the campaign executed at. It affects
+	// host wall clock only — never any modeled figure.
+	Workers int
+	// Experiments counts committed attempts (faulted + discarded).
+	Experiments int
+	// TotalWork is the summed modeled duration of all committed attempts.
+	TotalWork time.Duration
+	// SerialMakespan is the modeled campaign wall clock on one worker.
+	SerialMakespan time.Duration
+	// Makespan is the modeled wall clock at CanonicalCampaignWorkers.
+	Makespan time.Duration
+	// Occupancy is TotalWork / (CanonicalCampaignWorkers × Makespan).
+	Occupancy float64
+
+	spans []time.Duration
+}
+
+// ScheduleAt models the campaign wall clock at a hypothetical pool width.
+func (s *CampaignStats) ScheduleAt(workers int) time.Duration {
+	return core.PoolSchedule(s.spans, workers)
+}
+
+// SpeedupAt is the modeled serial-over-parallel ratio at a width.
+func (s *CampaignStats) SpeedupAt(workers int) float64 {
+	par := s.ScheduleAt(workers)
+	if par <= 0 {
+		return 0
+	}
+	return float64(s.SerialMakespan) / float64(par)
+}
+
 // RunTable5 runs the full Table 5 campaign: an unprotected pass providing
 // the success/boot-failure/resurrect-failure/corruption columns and a
 // protected pass providing the protected-corruption sub-column.
 func RunTable5(cfg CampaignConfig) []Table5Row {
+	rows, _ := RunTable5Campaign(cfg)
+	return rows
+}
+
+// RunTable5Campaign is RunTable5 plus the pool schedule model: it also
+// returns the campaign's modeled timing statistics and publishes the pool
+// occupancy and makespan gauges to cfg.Metrics.
+func RunTable5Campaign(cfg CampaignConfig) ([]Table5Row, *CampaignStats) {
 	if len(cfg.Apps) == 0 {
 		cfg.Apps = AppNames
 	}
+	stats := &CampaignStats{Workers: cfg.campaignWorkers()}
 	rows := make([]Table5Row, 0, len(cfg.Apps))
 	const passCount = 2 // unprotected + protected
 	for i, app := range cfg.Apps {
-		base := runCampaignPass(cfg, app, false, cfg.PerApp, passSeedSalt(i, 0, passCount))
+		base, spans := runCampaignPass(cfg, app, false, cfg.PerApp, passSeedSalt(i, 0, passCount))
+		stats.spans = append(stats.spans, spans...)
 		row := Table5Row{
 			App:           app,
 			N:             base.n,
@@ -307,7 +417,8 @@ func RunTable5(cfg CampaignConfig) []Table5Row {
 			row.MeanParallelInterruption = base.parInterruption / time.Duration(base.success)
 		}
 		if !cfg.SkipProtected {
-			prot := runCampaignPass(cfg, app, true, cfg.PerApp, passSeedSalt(i, 1, passCount))
+			prot, pspans := runCampaignPass(cfg, app, true, cfg.PerApp, passSeedSalt(i, 1, passCount))
+			stats.spans = append(stats.spans, pspans...)
 			row.ProtN = prot.n
 			if prot.n < cfg.PerApp {
 				row.ProtShortfall = cfg.PerApp - prot.n
@@ -318,7 +429,21 @@ func RunTable5(cfg CampaignConfig) []Table5Row {
 		}
 		rows = append(rows, row)
 	}
-	return rows
+	stats.Experiments = len(stats.spans)
+	for _, s := range stats.spans {
+		stats.TotalWork += s
+	}
+	stats.SerialMakespan = core.PoolSchedule(stats.spans, 1)
+	stats.Makespan = core.PoolSchedule(stats.spans, CanonicalCampaignWorkers)
+	stats.Occupancy = core.PoolOccupancy(stats.spans, CanonicalCampaignWorkers)
+	canon := metrics.Labels{"workers": fmt.Sprint(CanonicalCampaignWorkers)}
+	cfg.Metrics.Gauge("campaign_pool_occupancy",
+		"fraction of pool worker-time the modeled schedule keeps busy, at the canonical width", canon).
+		Set(stats.Occupancy)
+	cfg.Metrics.Gauge("campaign_pool_makespan_seconds",
+		"modeled campaign wall clock under the pool schedule, at the canonical width", canon).
+		Set(stats.Makespan.Seconds())
+	return rows, stats
 }
 
 // RenderTable5 formats campaign rows like the paper's Table 5, extended

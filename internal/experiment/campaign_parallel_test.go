@@ -1,0 +1,198 @@
+package experiment
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"otherworld/internal/metrics"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// runWidthCampaign runs the same small real campaign at one pool width and
+// returns its rows plus the registry snapshot.
+func runWidthCampaign(width int) ([]Table5Row, *CampaignStats, *metrics.Snapshot) {
+	cfg := DefaultCampaign(2, 20260805)
+	cfg.Apps = []string{"vi"}
+	cfg.CampaignWorkers = width
+	cfg.Metrics = metrics.NewRegistry()
+	rows, stats := RunTable5Campaign(cfg)
+	return rows, stats, cfg.Metrics.Snapshot()
+}
+
+// TestCampaignDeterminismAcrossWidths is the acceptance gate for the
+// campaign pool: a real (not stubbed) campaign run at CampaignWorkers=1 and
+// =8 must produce field-for-field identical Table 5 rows, identical failure
+// attributions, an identical metrics snapshot fingerprint and identical
+// schedule statistics — and the width-1 rendering is pinned against a golden
+// so drift is caught even when both widths drift together.
+func TestCampaignDeterminismAcrossWidths(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real campaign in -short mode")
+	}
+	rows1, stats1, snap1 := runWidthCampaign(1)
+	rows8, stats8, snap8 := runWidthCampaign(8)
+
+	if !reflect.DeepEqual(rows1, rows8) {
+		t.Fatalf("campaign rows depend on pool width:\nwidth 1: %+v\nwidth 8: %+v", rows1, rows8)
+	}
+	if snap1.Fingerprint() != snap8.Fingerprint() {
+		t.Fatalf("metrics snapshot depends on pool width:\n%s\nvs\n%s",
+			snap1.Fingerprint(), snap8.Fingerprint())
+	}
+	// Everything in CampaignStats except the live width is modeled.
+	if stats1.Experiments != stats8.Experiments ||
+		stats1.TotalWork != stats8.TotalWork ||
+		stats1.SerialMakespan != stats8.SerialMakespan ||
+		stats1.Makespan != stats8.Makespan ||
+		stats1.Occupancy != stats8.Occupancy {
+		t.Fatalf("schedule stats depend on pool width:\n%+v\nvs\n%+v", stats1, stats8)
+	}
+	if stats1.Workers != 1 || stats8.Workers != 8 {
+		t.Fatalf("live widths = %d/%d, want 1/8", stats1.Workers, stats8.Workers)
+	}
+
+	var b strings.Builder
+	b.WriteString(RenderTable5(rows1))
+	for _, r := range TopReasons(rows1) {
+		b.WriteString(r + "\n")
+	}
+	fmt.Fprintf(&b, "experiments=%d totalwork=%v serial=%v makespan@%dw=%v occupancy=%.4f\n",
+		stats1.Experiments, stats1.TotalWork, stats1.SerialMakespan,
+		CanonicalCampaignWorkers, stats1.Makespan, stats1.Occupancy)
+	b.WriteString(snap1.Fingerprint())
+	got := b.String()
+
+	golden := filepath.Join("testdata", "campaign_width.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("campaign output drifted from golden (rerun with -update if intended):\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// stubResultForSeed is a pure function of the experiment seed, covering
+// every outcome the tally distinguishes — including discarded no-fault runs
+// (which exercise the quota stop point) and attributed failures.
+func stubResultForSeed(seed int64) Result {
+	h := seed
+	if h < 0 {
+		h = -h
+	}
+	d := time.Duration(1+h%13) * time.Second
+	switch h % 7 {
+	case 0, 1:
+		return Result{Outcome: OutcomeSuccess, AckedOps: int(h%50) + 1,
+			Interruption: d / 2, ParallelInterruption: d / 4, Duration: d}
+	case 2:
+		return Result{Outcome: OutcomeNoKernelFault,
+			Detail:   newDetail(StageNoFault, "", "injected faults never manifested", nil, nil),
+			Duration: d}
+	case 3:
+		return Result{Outcome: OutcomeBootFailure,
+			Detail:   newDetail(StageTransfer, "", "no watchdog", nil, nil),
+			Duration: d}
+	case 4:
+		return Result{Outcome: OutcomeResurrectFailure, StructCorruption: h%14 == 4,
+			Detail:   newDetail(StageResurrect, "page-copy", "bad frame 0x1a2b", nil, nil),
+			Duration: d}
+	default:
+		return Result{Outcome: OutcomeDataCorruption,
+			Detail:   newDetail(StageWorkload, "", "payload mismatch", nil, nil),
+			Duration: d}
+	}
+}
+
+// TestCampaignStubWidthSweep sweeps the pool width over a stubbed campaign
+// whose per-seed outcomes cover discards, every failure mode and variable
+// durations. Rows, attributions and metrics fingerprints must match the
+// width-1 baseline exactly at every width.
+func TestCampaignStubWidthSweep(t *testing.T) {
+	run := func(width int) ([]Table5Row, *CampaignStats, *metrics.Snapshot) {
+		cfg := DefaultCampaign(25, 777)
+		cfg.Apps = []string{"vi", "JOE"}
+		cfg.CampaignWorkers = width
+		cfg.Metrics = metrics.NewRegistry()
+		cfg.runExperiment = func(ecfg Config) Result { return stubResultForSeed(ecfg.Seed) }
+		rows, stats := RunTable5Campaign(cfg)
+		return rows, stats, cfg.Metrics.Snapshot()
+	}
+	baseRows, baseStats, baseSnap := run(1)
+	if baseStats.Experiments == 0 || baseRows[0].Discarded == 0 {
+		t.Fatalf("stub sweep exercised nothing: %+v", baseRows)
+	}
+	for _, width := range []int{2, 3, 8} {
+		rows, stats, snap := run(width)
+		if !reflect.DeepEqual(rows, baseRows) {
+			t.Errorf("width %d: rows diverged from width 1:\n%+v\nvs\n%+v", width, rows, baseRows)
+		}
+		if snap.Fingerprint() != baseSnap.Fingerprint() {
+			t.Errorf("width %d: metrics fingerprint diverged:\n%s\nvs\n%s",
+				width, snap.Fingerprint(), baseSnap.Fingerprint())
+		}
+		if stats.Experiments != baseStats.Experiments || stats.TotalWork != baseStats.TotalWork {
+			t.Errorf("width %d: committed work diverged: %+v vs %+v", width, stats, baseStats)
+		}
+	}
+}
+
+// TestCampaignParallelSpeedup pins the schedule model's headline number:
+// with uniform experiment durations the pool at 4 workers must model at
+// least a 2x campaign speedup (it models exactly 4x here), and wider pools
+// never model a slower campaign.
+func TestCampaignParallelSpeedup(t *testing.T) {
+	const span = 7 * time.Second
+	cfg := DefaultCampaign(8, 1)
+	cfg.Apps = []string{"vi"}
+	cfg.SkipProtected = true
+	cfg.CampaignWorkers = 4
+	cfg.Metrics = metrics.NewRegistry()
+	cfg.runExperiment = func(Config) Result {
+		return Result{Outcome: OutcomeSuccess, AckedOps: 1, Duration: span}
+	}
+	_, stats := RunTable5Campaign(cfg)
+	if stats.Experiments != 8 || stats.TotalWork != 8*span {
+		t.Fatalf("stats = %+v, want 8 committed experiments of %v", stats, span)
+	}
+	if stats.SerialMakespan != 8*span {
+		t.Fatalf("serial makespan = %v, want %v", stats.SerialMakespan, 8*span)
+	}
+	if got := stats.SpeedupAt(4); got < 2 {
+		t.Fatalf("modeled speedup at 4 workers = %.2f, want >= 2", got)
+	}
+	if stats.Occupancy != 1.0 {
+		t.Fatalf("uniform spans should pack perfectly, occupancy = %v", stats.Occupancy)
+	}
+	prev := stats.ScheduleAt(1)
+	for _, w := range []int{2, 4, 8} {
+		cur := stats.ScheduleAt(w)
+		if cur > prev {
+			t.Fatalf("ScheduleAt(%d) = %v exceeds narrower pool's %v", w, cur, prev)
+		}
+		prev = cur
+	}
+	// The published gauges quote the canonical width regardless of the live
+	// pool size.
+	snap := cfg.Metrics.Snapshot()
+	occ := snap.Get("campaign_pool_occupancy",
+		metrics.Labels{"workers": fmt.Sprint(CanonicalCampaignWorkers)})
+	if occ == nil || occ.Gauge != 1.0 {
+		t.Fatalf("campaign_pool_occupancy gauge = %+v, want 1.0 at canonical width", occ)
+	}
+}

@@ -150,6 +150,12 @@ type Result struct {
 	// evaluated at resurrect.CanonicalWorkers, so campaign output does not
 	// depend on the machine the campaign ran on.
 	ParallelInterruption time.Duration
+	// Duration is the experiment machine's virtual clock when the
+	// experiment finished: the modeled cost of the whole run (boot, warmup,
+	// failure, recovery, verification). The campaign pool's schedule model
+	// (core.PoolSchedule) consumes these spans; like every other field it
+	// is a pure function of the seed.
+	Duration time.Duration
 }
 
 // Run executes one complete fault-injection experiment: boot, warm up the
@@ -157,6 +163,18 @@ type Result struct {
 // (or give up and discard), microreboot, resurrect, reattach the workload,
 // run further, and verify against the remote log.
 func Run(cfg Config) Result {
+	var m *core.Machine
+	out := runBody(cfg, &m)
+	if m != nil {
+		out.Duration = m.HW.Clock.Now()
+	}
+	return out
+}
+
+// runBody is Run without the duration stamp; it publishes the experiment
+// machine through mp as soon as one exists so Run can read the final
+// virtual clock on every exit path.
+func runBody(cfg Config, mp **core.Machine) Result {
 	if cfg.FaultsPerRun <= 0 {
 		cfg.FaultsPerRun = 30
 	}
@@ -182,6 +200,7 @@ func Run(cfg Config) Result {
 		return Result{Outcome: OutcomeResurrectFailure, ResurrectErr: err,
 			Detail: newDetail(StageSetup, "", err.Error(), nil, nil)}
 	}
+	*mp = m
 	d, err := DriverFor(cfg.App, cfg.Seed+7777)
 	if err != nil {
 		return Result{Outcome: OutcomeResurrectFailure, ResurrectErr: err,

@@ -103,6 +103,29 @@ func (k *Kernel) InstallResidentPage(p *Process, va uint64, data []byte, writabl
 	return k.setPTE(pteAddr, pte)
 }
 
+// InstallZeroPage is the fast path's elision case: the dead kernel's page
+// was entirely zero, so instead of copying 4 KB the crash kernel maps a
+// freshly zero-filled frame. The PTE is identical to the one
+// InstallResidentPage would have produced for the same page.
+func (k *Kernel) InstallZeroPage(p *Process, va uint64, writable, dirty bool) error {
+	pteAddr, _, err := k.walk(p, va, true)
+	if err != nil {
+		return err
+	}
+	frame, err := k.allocFrame(phys.FrameUser)
+	if err != nil {
+		return err
+	}
+	if err := k.M.Mem.Zero(frame); err != nil {
+		return err
+	}
+	pte := layout.MakePresentPTE(frame, writable)
+	if dirty {
+		pte = pte.WithDirty()
+	}
+	return k.setPTE(pteAddr, pte)
+}
+
 // InstallResidentPageMapped is the paper's footnote-3 optimization: instead
 // of copying the dead kernel's page, the crash kernel maps the physical
 // frame itself into the resurrected process, adopting it from the dead

@@ -259,6 +259,25 @@ func (m *Mem) Zero(f int) error {
 	return nil
 }
 
+// PageIsZero reports whether every byte of b is zero — the resurrection
+// fast path's elision test. It compares in word-sized chunks the way a real
+// kernel's zero-detect loop would; a partially-zero page (any nonzero byte,
+// even the last one) is not elidable.
+func PageIsZero(b []byte) bool {
+	i := 0
+	for ; i+8 <= len(b); i += 8 {
+		if b[i]|b[i+1]|b[i+2]|b[i+3]|b[i+4]|b[i+5]|b[i+6]|b[i+7] != 0 {
+			return false
+		}
+	}
+	for ; i < len(b); i++ {
+		if b[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // Stats returns a point-in-time copy of the access counters. Because the
 // scan pool issues an identical read set at any worker count, every field
 // is itself deterministic across pool widths.

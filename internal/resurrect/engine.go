@@ -206,8 +206,17 @@ type ProcReport struct {
 	// PagesCopied / PagesRestaged count resident and swapped pages.
 	PagesCopied   int
 	PagesRestaged int
-	// DirtyFlushed counts dirty page-cache pages written to disk.
+	// PagesElided counts resident pages installed by zero-fill instead of
+	// copy (the fast path's all-zero elision); PagesDeduped counts pages
+	// whose contents were filled from the dedup cache's canonical copy.
+	// Both are subsets of PagesCopied.
+	PagesElided  int
+	PagesDeduped int
+	// DirtyFlushed counts dirty page-cache pages written to disk;
+	// FlushExtents counts the block-sorted extents the write-combining
+	// queue merged them into (one modeled seek each).
 	DirtyFlushed int
+	FlushExtents int
 	// Timeline records the phases this resurrection went through, with
 	// per-phase byte/page counters and the failure (if any) in place.
 	Timeline Timeline
@@ -438,7 +447,14 @@ func (e *Engine) Run(cfg Config) *Report {
 	for _, sh := range shards {
 		e.acct.absorb(sh)
 	}
-	rep.ScanTrace = trace.Merge(events...)
+
+	// Phase A½ — the install-phase memory fast path (fastpath.go): serial
+	// zero/dedup classification in stable candidate order, charging the
+	// deferred page-copy time and emitting one fast-path event per
+	// candidate. Serial on purpose: which copy becomes canonical must be a
+	// pure function of the candidate set, not of scan timing.
+	fpEvents := e.classifyPlans(plans)
+	rep.ScanTrace = trace.Merge(append(append([][]trace.Event{}, events...), fpEvents)...)
 
 	// Phase B — serial install in stable candidate order. Installs run
 	// against a detached clock so their serially-executed virtual time is
@@ -505,9 +521,10 @@ func (r *Report) Fingerprint() string {
 			c.PID, c.Name, c.Program, c.Addr, c.CrashProc)
 	}
 	for _, p := range r.Procs {
-		fmt.Fprintf(&b, "proc pid=%d outcome=%s newpid=%d missing=%v cpcalled=%v copied=%d restaged=%d flushed=%d err=%v\n",
+		fmt.Fprintf(&b, "proc pid=%d outcome=%s newpid=%d missing=%v cpcalled=%v copied=%d elided=%d deduped=%d restaged=%d flushed=%d extents=%d err=%v\n",
 			p.Candidate.PID, p.Outcome, p.NewPID, p.Missing, p.CrashProcCalled,
-			p.PagesCopied, p.PagesRestaged, p.DirtyFlushed, p.Err)
+			p.PagesCopied, p.PagesElided, p.PagesDeduped,
+			p.PagesRestaged, p.DirtyFlushed, p.FlushExtents, p.Err)
 		for _, st := range p.Timeline {
 			fmt.Fprintf(&b, "  phase=%s pages=%d bytes=%d dur=%v err=%q\n",
 				st.Phase, st.Pages, st.Bytes, st.Duration, st.Err)

@@ -1,0 +1,105 @@
+package resurrect
+
+import (
+	"bytes"
+	"time"
+
+	"otherworld/internal/phys"
+	"otherworld/internal/trace"
+)
+
+// The install-phase memory fast path, run as a serial classification pass
+// between the parallel scan and the serial install:
+//
+//   - all-zero pages are elided: instead of copying 4 KB out of the dead
+//     kernel, the install maps a freshly zero-filled frame
+//     (kernel.InstallZeroPage) and pays ZeroFillCost;
+//   - identical page contents shared across candidates (shared libraries,
+//     COW children — the 8×MySQL workload is dominated by these) are
+//     deduplicated through a content-hash cache: the first occurrence pays
+//     the full CopyCost and becomes the canonical copy, every later hit
+//     pays only DedupHitCost. Installs still fill *private* frames from
+//     the canonical copy, so a page mutated by one resurrected process can
+//     never leak into another candidate's address space.
+//
+// Classification is serial and in stable candidate order, so which page is
+// canonical — and therefore every charged duration, counter and trace
+// event — is a pure function of the candidate set, never of the scan
+// pool's width or timing. The scan defers the resident-copy bandwidth
+// charge to this pass (see scanPages); byte *accounting* is unchanged,
+// since the scan still reads every frame to classify it.
+
+// pageHash is FNV-1a over the page contents: fast, deterministic and good
+// enough to make collisions (which are then caught by bytes.Equal and
+// treated as ordinary copies) a non-event.
+func pageHash(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// classifyPlans mutates each plan's resident pages in place — marking
+// zero-elided and deduplicated pages, re-pointing dedup hits at the
+// canonical buffer — and charges the deferred page-copy time to the plan's
+// PhasePageCopy duration and scanDur. It returns one fast-path trace event
+// per classified candidate (Seq is candidate-local logical time, so the
+// merged trace is identical at any scan-pool width).
+func (e *Engine) classifyPlans(plans []*plan) []trace.Event {
+	cost := e.K.Cost()
+	cache := make(map[uint64][]byte)
+	var events []trace.Event
+	for _, pl := range plans {
+		examined, elided, deduped := 0, 0, 0
+		var dur time.Duration
+		for idx := range pl.pages {
+			pg := &pl.pages[idx]
+			if pg.swapped || pg.mapped || pg.data == nil {
+				continue
+			}
+			examined++
+			if phys.PageIsZero(pg.data) {
+				pg.zero = true
+				pg.data = nil
+				elided++
+				dur += cost.ZeroFillCost
+				continue
+			}
+			h := pageHash(pg.data)
+			if canon, ok := cache[h]; ok {
+				if bytes.Equal(canon, pg.data) {
+					pg.data = canon
+					pg.deduped = true
+					deduped++
+					dur += cost.DedupHitCost
+					continue
+				}
+				// Hash collision: treat as an ordinary copy; the first
+				// occupant keeps the cache slot.
+				dur += cost.CopyCost(int64(len(pg.data)))
+				continue
+			}
+			cache[h] = pg.data
+			dur += cost.CopyCost(int64(len(pg.data)))
+		}
+		if examined == 0 {
+			continue
+		}
+		ps := pl.phase[PhasePageCopy]
+		ps.dur += dur
+		pl.phase[PhasePageCopy] = ps
+		pl.scanDur += dur
+		events = append(events, trace.Event{
+			Seq:  uint64(pl.scanDur),
+			Kind: trace.KindResurrect,
+			PID:  pl.cand.PID,
+			PC:   uint64(pl.scanDur),
+			A:    uint64(PhasePageCopy),
+			B:    uint64(elided+deduped) * phys.PageSize,
+			Note: "fastpath",
+		})
+	}
+	return events
+}

@@ -3,6 +3,7 @@ package resurrect
 import (
 	"fmt"
 
+	"otherworld/internal/disk"
 	"otherworld/internal/kernel"
 	"otherworld/internal/layout"
 )
@@ -56,18 +57,31 @@ func (e *Engine) installOne(pl *plan) ProcReport {
 	step(PhaseParse, 0, nil)
 
 	// Open files first so file-backed regions can reference the new
-	// records; also flush the dead kernel's dirty page-cache pages.
+	// records; also flush the dead kernel's dirty page-cache pages. The
+	// flush goes through the disk model's write-combining queue: every
+	// dirty page across every file is enqueued, then issued block-sorted
+	// with adjacent pages merged into extents, one modeled seek per extent
+	// (DiskBatchCost) instead of scattered per-page writes.
 	fileMap := make(map[uint64]uint64)
-	flushed := 0
+	flushed, flushExtents := 0, 0
 	fileErr := func() error {
+		var wq disk.WriteQueue
 		for _, fp := range pl.files {
 			for _, dp := range fp.dirty {
-				if _, werr := e.K.FS.WriteAt(fp.rec.Path, int64(dp.off), dp.data, true); werr != nil {
-					return werr
-				}
-				e.K.M.Clock.Advance(e.K.Cost().DiskWriteCost(int64(len(dp.data))))
+				wq.Enqueue(fp.rec.Path, int64(dp.off), dp.data)
 				flushed++
 			}
+		}
+		extents, bytes, werr := wq.Flush(func(path string, off int64, data []byte) error {
+			_, ferr := e.K.FS.WriteAt(path, off, data, true)
+			return ferr
+		})
+		flushExtents = extents
+		e.K.M.Clock.Advance(e.K.Cost().DiskBatchCost(extents, bytes))
+		if werr != nil {
+			return werr
+		}
+		for _, fp := range pl.files {
 			newAddr, ierr := e.K.InstallOpenFile(np, fp.rec)
 			if ierr != nil {
 				return ierr
@@ -87,6 +101,7 @@ func (e *Engine) installOne(pl *plan) ProcReport {
 		step(PhaseFileReopen, 0, nil)
 	}
 	pr.DirtyFlushed = flushed
+	pr.FlushExtents = flushExtents
 	step(PhaseFlush, flushed, nil)
 
 	// Memory regions and page contents — corruption here is fatal: a
@@ -108,7 +123,7 @@ func (e *Engine) installOne(pl *plan) ProcReport {
 	// Install the pages the scan captured. An error is attributed to the
 	// re-stage phase once swap reading had begun, matching the serial
 	// engine's split of the single page walk into two timeline entries.
-	copied, restaged := 0, 0
+	copied, restaged, elided, deduped := 0, 0, 0, 0
 	swapSeen := false
 	pageErr := pl.pagesErr
 	for _, pg := range pl.pages {
@@ -119,7 +134,12 @@ func (e *Engine) installOne(pl *plan) ProcReport {
 			ierr = e.K.InstallSwappedPage(np, pg.va, pg.data, pg.writable)
 		case pg.mapped:
 			ierr = e.K.InstallResidentPageMapped(np, pg.va, pg.frame, pg.writable, pg.dirty)
+		case pg.zero:
+			ierr = e.K.InstallZeroPage(np, pg.va, pg.writable, pg.dirty)
 		default:
+			// Dedup hits pass the cache's canonical buffer here; the
+			// install still fills a private frame from it, so candidates
+			// never share writable memory.
 			ierr = e.K.InstallResidentPage(np, pg.va, pg.data, pg.writable, pg.dirty)
 		}
 		if ierr != nil {
@@ -128,11 +148,17 @@ func (e *Engine) installOne(pl *plan) ProcReport {
 		}
 		if pg.swapped {
 			restaged++
-		} else {
-			copied++
+			continue
+		}
+		copied++
+		if pg.zero {
+			elided++
+		} else if pg.deduped {
+			deduped++
 		}
 	}
 	pr.PagesCopied, pr.PagesRestaged = copied, restaged
+	pr.PagesElided, pr.PagesDeduped = elided, deduped
 	scPC, scSR := pl.phase[PhasePageCopy], pl.phase[PhaseSwapRestage]
 	dur := scPC.dur + e.K.M.Clock.Since(markTime)
 	markTime = e.K.M.Clock.Now()

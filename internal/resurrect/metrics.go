@@ -4,7 +4,11 @@ import (
 	"sort"
 
 	"otherworld/internal/metrics"
+	"otherworld/internal/phys"
 )
+
+// pageBytes is the page size as an int64 for counter arithmetic.
+const pageBytes = int64(phys.PageSize)
 
 // Histogram bounds for the resurrection metrics. Durations are virtual
 // nanoseconds in decade buckets (1µs .. 10s); byte sizes follow the data
@@ -25,7 +29,12 @@ func (e *Engine) publish(rep *Report) {
 		return
 	}
 	reg.Counter("resurrect_runs_total", "resurrection passes executed", nil).Inc()
+	var elided, deduped, extents, flushedPages int64
 	for _, p := range rep.Procs {
+		elided += int64(p.PagesElided)
+		deduped += int64(p.PagesDeduped)
+		extents += int64(p.FlushExtents)
+		flushedPages += int64(p.DirtyFlushed)
 		reg.Counter("resurrect_candidates_total", "candidates by final outcome",
 			metrics.Labels{"outcome": p.Outcome.String()}).Inc()
 		for _, st := range p.Timeline {
@@ -53,6 +62,17 @@ func (e *Engine) publish(rep *Report) {
 		reg.Counter("resurrect_read_bytes_total", "dead-kernel bytes read, by Table 4 category",
 			metrics.Labels{"category": cat}).Add(rep.Acct.ByCategory[cat])
 	}
+	reg.Counter("resurrect_pages_elided_total",
+		"all-zero pages installed by zero-fill instead of copy", nil).Add(elided)
+	reg.Counter("resurrect_pages_deduped_total",
+		"pages filled from the dedup cache's canonical copy", nil).Add(deduped)
+	reg.Counter("resurrect_fastpath_saved_bytes_total",
+		"install-phase copy bytes avoided by zero elision and dedup", nil).
+		Add((elided + deduped) * pageBytes)
+	reg.Counter("resurrect_flush_pages_total",
+		"dirty page-cache pages flushed through the write-combining queue", nil).Add(flushedPages)
+	reg.Counter("resurrect_flush_extents_total",
+		"block-sorted extents the write-combining queue issued (one seek each)", nil).Add(extents)
 	reg.Gauge("resurrect_pagetable_fraction",
 		"page-table share of main-kernel data read (Table 4)", nil).Set(rep.Acct.PageTableFraction())
 	rep.Trace.CollectInto(reg)

@@ -49,12 +49,16 @@ type filePlan struct {
 
 // pagePlan is one user page to install: a resident copy, an in-place
 // mapping (footnote-3 mode), or a swapped page read raw off the dead
-// kernel's partition.
+// kernel's partition. The fast-path classification pass (fastpath.go) may
+// mark a resident copy zero-elided (data dropped, install zero-fills) or
+// deduplicated (data re-pointed at the canonical cached copy).
 type pagePlan struct {
 	va       uint64
 	swapped  bool
 	mapped   bool
-	frame    int // mapped mode: the dead kernel's frame, adopted in place
+	zero     bool // all-zero page: install a zero-filled frame instead
+	deduped  bool // data aliases the dedup cache's canonical copy
+	frame    int  // mapped mode: the dead kernel's frame, adopted in place
 	data     []byte
 	writable bool
 	dirty    bool
@@ -375,9 +379,10 @@ func (s *scanner) scanRegions(old *layout.Proc) ([]*layout.MemRegion, error) {
 // scanPages walks the dead process's hardware page tables and captures
 // every touched page: resident pages are copied out of the dead frame (or
 // noted for in-place mapping), swapped pages are read raw off the dead
-// kernel's swap partition. Copy/re-stage bandwidth is charged to the
-// worker's ledger here — this is the bulk data movement the parallel
-// schedule exists to overlap.
+// kernel's swap partition. Swap re-stage bandwidth is charged to the
+// worker's ledger here; resident-copy bandwidth is deferred to the serial
+// fast-path classification (fastpath.go), which knows whether each page
+// elides, dedups or pays the full copy.
 func (s *scanner) scanPages(old *layout.Proc, copied, restaged *int) ([]pagePlan, error) {
 	if old.PageDir%phys.PageSize != 0 || old.PageDir >= s.memSize {
 		return nil, fmt.Errorf("page directory address %#x implausible", old.PageDir)
@@ -424,7 +429,11 @@ func (s *scanner) scanPages(old *layout.Proc, copied, restaged *int) ([]pagePlan
 						return out, err
 					}
 					pp.data = buf
-					s.charge(s.cost.CopyCost(phys.PageSize))
+					// The copy bandwidth is NOT charged here: the serial
+					// fast-path classification (fastpath.go) charges
+					// CopyCost, DedupHitCost or ZeroFillCost per page once
+					// it knows which of the three the page needs. Byte
+					// accounting stays here with the read.
 				}
 				out = append(out, pp)
 				*copied++

@@ -48,6 +48,21 @@ type CostModel struct {
 	// RecordParseOverhead is the fixed cost of parsing one main-kernel
 	// record during resurrection.
 	RecordParseOverhead time.Duration
+	// ZeroFillCost is the fixed cost of installing an all-zero page by
+	// zero-filling a fresh frame instead of copying the dead kernel's page
+	// (the install-phase fast path's elision case): a PTE write plus a
+	// cache-friendly clear, far below a 4 KB copy at PageCopyBandwidth.
+	ZeroFillCost time.Duration
+	// DedupHitCost is the fixed cost of installing a page whose contents
+	// the fast path already copied once this recovery: a content-hash
+	// probe plus the (still needed) private-frame fill from the warm
+	// canonical copy.
+	DedupHitCost time.Duration
+	// DiskSeekOverhead is the per-extent positioning cost charged by the
+	// write-combining queue's batched flushes: each merged run of blocks
+	// pays one seek, so coalescing adjacent dirty pages is visible in
+	// modeled time as well as in the extent counters.
+	DiskSeekOverhead time.Duration
 }
 
 // DefaultCostModel returns the calibration used throughout the reproduction.
@@ -68,6 +83,9 @@ func DefaultCostModel() CostModel {
 		SwapRestageBandwidth: 55e6,  // disk-to-disk restage
 		DiskWriteBandwidth:   42e6,  // sequential write (2006-era commodity disk)
 		RecordParseOverhead:  2 * time.Microsecond,
+		ZeroFillCost:         1 * time.Microsecond,  // clear beats copy ~5×
+		DedupHitCost:         600 * time.Nanosecond, // hash probe + warm copy
+		DiskSeekOverhead:     4 * time.Millisecond,  // 2006-era average seek
 	}
 }
 
@@ -99,6 +117,17 @@ func (m CostModel) SwapRestageCost(n int64) time.Duration {
 // DiskWriteCost returns the virtual time to persist n bytes to disk.
 func (m CostModel) DiskWriteCost(n int64) time.Duration {
 	return bandwidthCost(n, m.DiskWriteBandwidth)
+}
+
+// DiskBatchCost returns the virtual time for a batched flush of `extents`
+// block-sorted runs totalling n bytes: one seek per extent plus sequential
+// write bandwidth for the payload.
+func (m CostModel) DiskBatchCost(extents int, n int64) time.Duration {
+	d := bandwidthCost(n, m.DiskWriteBandwidth)
+	if extents > 0 {
+		d += time.Duration(extents) * m.DiskSeekOverhead
+	}
+	return d
 }
 
 func bandwidthCost(n int64, bytesPerSec float64) time.Duration {
