@@ -51,9 +51,10 @@ bench:
 
 # bench-diff re-measures the perf-trajectory scenarios at the checked-in
 # snapshot's seed and fails on any modeled-time metric regressing more
-# than 10% against BENCH_5.json (the worker-sweep baseline).
+# than 10% against BENCH_6.json (the eager+lazy install baseline — the
+# gate covers the demand-paged interruption columns too).
 bench-diff: build
-	$(GO) run ./cmd/owbench -bench-diff BENCH_5.json
+	$(GO) run ./cmd/owbench -bench-diff BENCH_6.json
 
 campaign:
 	$(GO) run ./cmd/owcampaign -n 100

@@ -48,6 +48,7 @@ func main() {
 	traceJSON := flag.String("trace-json", "", "write table-5 failure attributions as JSON to this file")
 	resWorkers := flag.Int("resurrect-workers", 0, "resurrection pipeline workers for campaigns (0 = NumCPU); changes only the modeled interruption time")
 	campaignWorkers := flag.Int("campaign-workers", 0, "campaign pool width: whole experiments run concurrently (0 = NumCPU); results and published figures are identical at any width")
+	lazyInstall := flag.Bool("lazy-install", false, "run the table campaigns with demand-paged resurrection (the bench snapshot always measures both modes)")
 	benchDiff := flag.String("bench-diff", "", "rebuild the bench snapshot and fail if any modeled-time metric regressed >10% against this baseline BENCH_N.json")
 	jsonOut := flag.String("json", "", "write a perf snapshot (per-benchmark custom metrics, seed, workers, metrics snapshot) as JSON to this file and exit; schema in EXPERIMENTS.md")
 	showMetrics := flag.Bool("metrics", false, "print the bench scenario's final metrics snapshot and exit")
@@ -134,6 +135,7 @@ func main() {
 		cfg := experiment.DefaultCampaign(*n, *seed)
 		cfg.ResurrectWorkers = *resWorkers
 		cfg.CampaignWorkers = *campaignWorkers
+		cfg.LazyInstall = *lazyInstall
 		rows, stats := experiment.RunTable5Campaign(cfg)
 		fmt.Print(experiment.RenderTable5(rows))
 		fmt.Printf("campaign schedule: %d experiments, %v of modeled work; %v at %d workers (%.2fx, %.0f%% pool occupancy)\n",
@@ -221,12 +223,17 @@ func fatal(err error) {
 // bench scenario's final otherworld-metrics/1 snapshot; /3 adds the
 // campaign-worker sweep benchmark, the campaign_workers knob and the
 // install-phase fast-path counters (pages elided/deduped, flush extents) on
-// the resurrection scenario. readSnapshot accepts all three, so the
-// checked-in BENCH_3.json (a /1 file) stays readable.
+// the resurrection scenario; /4 adds the demand-paged resurrection entry
+// (resurrect-lazy/mysql-x8), the lazy interruption columns on the table6
+// entries, and changes fastpath-saved-KB from a page-granular estimate to
+// the actual bytes the fast path avoided copying (partial tail pages of
+// non-page-multiple regions no longer overcount). readSnapshot accepts all
+// four, so older checked-in BENCH_N.json baselines stay readable.
 const (
 	benchSchemaV1 = "otherworld-bench/1"
 	benchSchemaV2 = "otherworld-bench/2"
 	benchSchemaV3 = "otherworld-bench/3"
+	benchSchemaV4 = "otherworld-bench/4"
 )
 
 type benchSnapshot struct {
@@ -259,7 +266,7 @@ func readSnapshot(data []byte) (*benchSnapshot, error) {
 		return nil, err
 	}
 	switch s.Schema {
-	case benchSchemaV1, benchSchemaV2, benchSchemaV3:
+	case benchSchemaV1, benchSchemaV2, benchSchemaV3, benchSchemaV4:
 		return &s, nil
 	default:
 		return nil, fmt.Errorf("unknown bench snapshot schema %q", s.Schema)
@@ -317,14 +324,14 @@ func benchSnapshotMode(jsonPath string, seed int64, resWorkers, campaignWorkers 
 // separately for -metrics.
 func buildSnapshot(seed int64, resWorkers, campaignWorkers int) (*benchSnapshot, *metrics.Snapshot, error) {
 	snap := &benchSnapshot{
-		Schema:           benchSchemaV3,
+		Schema:           benchSchemaV4,
 		Seed:             seed,
 		ResurrectWorkers: resWorkers,
 		CanonicalWorkers: resurrect.CanonicalWorkers,
 		CampaignWorkers:  campaignWorkers,
 	}
 
-	rep, m, err := multiMySQLRecovery(seed, resWorkers)
+	rep, m, err := multiMySQLRecovery(seed, resWorkers, false)
 	if err != nil {
 		return nil, nil, fmt.Errorf("resurrect-parallel scenario: %w", err)
 	}
@@ -336,18 +343,47 @@ func buildSnapshot(seed int64, resWorkers, campaignWorkers int) (*benchSnapshot,
 		par.Metrics[fmt.Sprintf("speedup-%dw-x", w)] = rep.SpeedupAt(w)
 	}
 	var elided, deduped, flushPages, flushExtents int
+	var saved int64
 	for _, p := range rep.Procs {
 		elided += p.PagesElided
 		deduped += p.PagesDeduped
 		flushPages += p.DirtyFlushed
 		flushExtents += p.FlushExtents
+		saved += p.SavedBytes
 	}
 	par.Metrics["pages-elided"] = float64(elided)
 	par.Metrics["pages-deduped"] = float64(deduped)
-	par.Metrics["fastpath-saved-KB"] = float64((elided + deduped) * 4)
+	// Actual bytes the fast path avoided copying — a partial tail page of a
+	// non-page-multiple region counts its live bytes, not a full page.
+	par.Metrics["fastpath-saved-KB"] = float64(saved) / 1024
 	par.Metrics["flush-pages"] = float64(flushPages)
 	par.Metrics["flush-extents"] = float64(flushExtents)
 	snap.Benchmarks = append(snap.Benchmarks, par)
+
+	// The demand-paged variant of the same scenario (schema /4): serial-s is
+	// the modeled interruption with every process resuming at context
+	// install, so the eager-vs-lazy collapse is quoted side by side with the
+	// entry above. The speculated-page count proves the run actually
+	// deferred its copies instead of finding nothing to speculate.
+	lrep, _, err := multiMySQLRecovery(seed, resWorkers, true)
+	if err != nil {
+		return nil, nil, fmt.Errorf("resurrect-lazy scenario: %w", err)
+	}
+	lazy := benchEntry{Name: "resurrect-lazy/mysql-x8", Metrics: map[string]float64{
+		"serial-s": lrep.Duration.Seconds(),
+	}}
+	for _, w := range []int{1, 2, 4, 8} {
+		lazy.Metrics[fmt.Sprintf("sched-%dw-s", w)] = lrep.ScheduleAt(w).Seconds()
+	}
+	var speculated int
+	for _, p := range lrep.Procs {
+		speculated += p.PagesSpeculated
+	}
+	lazy.Metrics["pages-speculated"] = float64(speculated)
+	if lrep.Duration > 0 {
+		lazy.Metrics["collapse-x"] = rep.Duration.Seconds() / lrep.Duration.Seconds()
+	}
+	snap.Benchmarks = append(snap.Benchmarks, lazy)
 
 	// The campaign-pool sweep (schema /3): a small real vi campaign, its
 	// committed spans fed through the schedule model at every width. The
@@ -377,9 +413,11 @@ func buildSnapshot(seed int64, resWorkers, campaignWorkers int) (*benchSnapshot,
 		snap.Benchmarks = append(snap.Benchmarks, benchEntry{
 			Name: "table6/" + r.App,
 			Metrics: map[string]float64{
-				"boot-s":                  r.BootTime.Seconds(),
-				"interruption-serial-s":   r.Interruption.Seconds(),
-				"interruption-parallel-s": r.ParallelInterruption.Seconds(),
+				"boot-s":                       r.BootTime.Seconds(),
+				"interruption-serial-s":        r.Interruption.Seconds(),
+				"interruption-parallel-s":      r.ParallelInterruption.Seconds(),
+				"interruption-lazy-serial-s":   r.LazyInterruption.Seconds(),
+				"interruption-lazy-parallel-s": r.LazyParallelInterruption.Seconds(),
 			},
 		})
 	}
@@ -398,13 +436,16 @@ func buildSnapshot(seed int64, resWorkers, campaignWorkers int) (*benchSnapshot,
 // traffic first. The warm-up matters for the fast-path counters: serving
 // requests demand-faults each server's row arena (~70 pages, almost all
 // still zero), so the resurrection scan sees the zero-elision and dedup
-// opportunities a freshly-booted idle server would not expose.
-func multiMySQLRecovery(seed int64, resWorkers int) (*resurrect.Report, *core.Machine, error) {
+// opportunities a freshly-booted idle server would not expose. lazy runs
+// the demand-paged install (validated speculation) instead of the eager
+// full-copy.
+func multiMySQLRecovery(seed int64, resWorkers int, lazy bool) (*resurrect.Report, *core.Machine, error) {
 	opts := core.DefaultOptions()
 	opts.HW = hw.Config{MemoryBytes: 256 << 20, NumCPUs: 2, TLBEntries: 64, WatchdogEnabled: true}
 	opts.CrashRegionMB = 16
 	opts.Seed = seed
 	opts.Resurrection.Workers = resWorkers
+	opts.LazyInstall = lazy
 	m, err := core.NewMachine(opts)
 	if err != nil {
 		return nil, nil, err

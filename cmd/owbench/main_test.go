@@ -80,12 +80,49 @@ func TestReadSnapshotCompatV2(t *testing.T) {
 	}
 }
 
-// TestBuildSnapshotV3 runs the real bench scenario once and checks the /3
-// shape: the /2 fields are still there (embedded metrics, normalized
-// logical stamp), the resurrection entry now carries the install fast-path
-// counters — nonzero elided and deduped pages on the warmed 8-server MySQL
-// scenario — and the campaign-pool sweep entry quotes the schedule model.
-func TestBuildSnapshotV3(t *testing.T) {
+// TestReadSnapshotCompatV3 pins the /3 shape: the campaign_workers knob and
+// the campaign sweep entry, but no lazy resurrection entry. Files written by
+// the previous binary must keep decoding after the bump to /4.
+func TestReadSnapshotCompatV3(t *testing.T) {
+	v3 := []byte(`{
+		"schema": "otherworld-bench/3",
+		"seed": 20100413,
+		"resurrect_workers": 2,
+		"canonical_workers": 4,
+		"campaign_workers": 4,
+		"benchmarks": [
+			{"name": "resurrect-parallel/mysql-x8",
+			 "metrics": {"serial-s": 56.0, "pages-elided": 500, "fastpath-saved-KB": 2000}},
+			{"name": "campaign-parallel/vi",
+			 "metrics": {"serial-s": 120.0, "experiments": 8}}
+		]
+	}`)
+	s, err := readSnapshot(v3)
+	if err != nil {
+		t.Fatalf("v3 snapshot no longer decodes: %v", err)
+	}
+	if s.Schema != benchSchemaV3 || s.CampaignWorkers != 4 {
+		t.Fatalf("schema=%q campaign_workers=%d, want /3 with knob 4",
+			s.Schema, s.CampaignWorkers)
+	}
+	if len(s.Benchmarks) != 2 || s.Benchmarks[1].Name != "campaign-parallel/vi" {
+		t.Fatalf("v3 benchmarks mangled: %+v", s.Benchmarks)
+	}
+	for _, b := range s.Benchmarks {
+		if _, lazy := b.Metrics["pages-speculated"]; lazy {
+			t.Fatalf("v3 file grew a /4 metric on decode: %+v", b)
+		}
+	}
+}
+
+// TestBuildSnapshotV4 runs the real bench scenario once and checks the /4
+// shape: the /2 and /3 fields are still there (embedded metrics, normalized
+// logical stamp, fast-path counters, campaign sweep), the saved-bytes figure
+// is the actual bytes avoided (bounded by — and on the warmed scenario
+// strictly below a full page per elided+deduped page would only happen with
+// partial tails, so just bounded by — the page-granular estimate), and the
+// new demand-paged entry quotes the eager-vs-lazy interruption collapse.
+func TestBuildSnapshotV4(t *testing.T) {
 	if testing.Short() {
 		t.Skip("bench scenario in -short mode")
 	}
@@ -93,7 +130,7 @@ func TestBuildSnapshotV3(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if snap.Schema != benchSchemaV3 {
+	if snap.Schema != benchSchemaV4 {
 		t.Fatalf("schema = %q", snap.Schema)
 	}
 	if len(snap.Benchmarks) == 0 {
@@ -124,8 +161,25 @@ func TestBuildSnapshotV3(t *testing.T) {
 		t.Fatalf("fast path idle on 8xMySQL: elided=%v deduped=%v",
 			res["pages-elided"], res["pages-deduped"])
 	}
-	if want := (res["pages-elided"] + res["pages-deduped"]) * 4; res["fastpath-saved-KB"] != want {
-		t.Fatalf("fastpath-saved-KB = %v, want %v", res["fastpath-saved-KB"], want)
+	// Actual bytes avoided: positive, and never more than the page-granular
+	// estimate the pre-/4 schema quoted (the old figure overcounted partial
+	// tail pages of non-page-multiple regions).
+	if bound := (res["pages-elided"] + res["pages-deduped"]) * 4; res["fastpath-saved-KB"] <= 0 ||
+		res["fastpath-saved-KB"] > bound {
+		t.Fatalf("fastpath-saved-KB = %v, want in (0, %v]", res["fastpath-saved-KB"], bound)
+	}
+	lazy := byName["resurrect-lazy/mysql-x8"]
+	if lazy == nil {
+		t.Fatal("resurrect-lazy/mysql-x8 entry missing")
+	}
+	if lazy["pages-speculated"] <= 0 {
+		t.Fatalf("lazy install speculated nothing: %+v", lazy)
+	}
+	// The ISSUE acceptance floor: resuming at context install collapses the
+	// modeled interruption on the warmed 8xMySQL scenario by at least 5x.
+	if lazy["collapse-x"] < 5 {
+		t.Fatalf("eager/lazy interruption collapse = %.2fx, want >= 5x (eager %vs, lazy %vs)",
+			lazy["collapse-x"], res["serial-s"], lazy["serial-s"])
 	}
 	camp := byName["campaign-parallel/vi"]
 	if camp == nil {

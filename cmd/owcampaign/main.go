@@ -6,7 +6,7 @@
 //
 //	owcampaign [-n perApp] [-seed n] [-apps csv] [-hardening on|off]
 //	           [-nocrc] [-noprotected] [-campaign-workers n]
-//	           [-workers n] [-resurrect-workers n]
+//	           [-workers n] [-resurrect-workers n] [-lazy-install]
 //	           [-trace] [-trace-json f] [-metrics] [-metrics-json f]
 //
 // The paper ran 400 faulted experiments per application; -n 400 reproduces
@@ -42,6 +42,7 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel workers (0 = NumCPU); older spelling of -campaign-workers")
 	campaignWorkers := flag.Int("campaign-workers", 0, "campaign pool width: whole experiments run concurrently (0 = -workers, then NumCPU); the table, attributions and metrics are bit-identical at any width")
 	resWorkers := flag.Int("resurrect-workers", 0, "per-experiment resurrection pipeline workers (0 = NumCPU); changes only the modeled interruption time")
+	lazyInstall := flag.Bool("lazy-install", false, "demand-paged resurrection in every experiment: resume at context install, CRC-validated copy-on-access pages")
 	jsonOut := flag.String("json", "", "also write the rows as JSON to this file")
 	showTrace := flag.Bool("trace", false, "print per-application failure attributions from the flight recorder")
 	traceJSON := flag.String("trace-json", "", "write the failure attributions as JSON to this file")
@@ -54,6 +55,7 @@ func main() {
 	cfg.Workers = *workers
 	cfg.CampaignWorkers = *campaignWorkers
 	cfg.ResurrectWorkers = *resWorkers
+	cfg.LazyInstall = *lazyInstall
 	cfg.SkipProtected = *noprotected
 	cfg.VerifyCRC = !*nocrc
 	if *appsCSV != "" {

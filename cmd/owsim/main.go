@@ -36,12 +36,13 @@ func main() {
 	protect := flag.Bool("protect", false, "enable user-space protection (Section 4)")
 	noharden := flag.Bool("noharden", false, "disable the Section 6 hardening fixes")
 	resWorkers := flag.Int("resurrect-workers", 0, "resurrection pipeline workers (0 = NumCPU); changes only the modeled interruption time")
+	lazyInstall := flag.Bool("lazy-install", false, "demand-paged resurrection: resume at context install, CRC-validated copy-on-access pages, background sweeper")
 	flag.Int("campaign-workers", 0, "accepted for flag parity with owcampaign/owbench sweep scripts; a single narrated run has no campaign pool")
 	showMetrics := flag.Bool("metrics", false, "print the final metrics snapshot")
 	metricsJSON := flag.String("metrics-json", "", "write the final metrics snapshot as JSON to this file")
 	flag.Parse()
 
-	if err := run(*app, *seed, *faults, *protect, *noharden, *resWorkers, *showMetrics, *metricsJSON); err != nil {
+	if err := run(*app, *seed, *faults, *protect, *noharden, *resWorkers, *lazyInstall, *showMetrics, *metricsJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "owsim:", err)
 		os.Exit(1)
 	}
@@ -73,13 +74,14 @@ func emitMetrics(m *core.Machine, show bool, jsonFile string) error {
 	return nil
 }
 
-func run(app string, seed int64, faults int, protect, noharden bool, resWorkers int, showMetrics bool, metricsJSON string) error {
+func run(app string, seed int64, faults int, protect, noharden bool, resWorkers int, lazyInstall, showMetrics bool, metricsJSON string) error {
 	opts := core.DefaultOptions()
 	opts.HW = hw.Config{MemoryBytes: 256 << 20, NumCPUs: 2, TLBEntries: 64, WatchdogEnabled: true}
 	opts.CrashRegionMB = 16
 	opts.UserSpaceProtection = protect
 	opts.Seed = seed
 	opts.Resurrection.Workers = resWorkers
+	opts.LazyInstall = lazyInstall
 	if noharden {
 		opts.Hardening = kernel.NoHardening()
 	}
@@ -148,8 +150,15 @@ func run(app string, seed int64, faults int, protect, noharden bool, resWorkers 
 		if pr.Err != nil {
 			fmt.Printf(" — %v", pr.Err)
 		}
-		fmt.Printf("; %d pages copied, %d re-staged, %d dirty pages flushed\n",
+		fmt.Printf("; %d pages copied, %d re-staged, %d dirty pages flushed",
 			pr.PagesCopied, pr.PagesRestaged, pr.DirtyFlushed)
+		if pr.PagesSpeculated > 0 {
+			fmt.Printf(", %d speculated", pr.PagesSpeculated)
+		}
+		if pr.SpecFallback != "" {
+			fmt.Printf(" (speculation fell back: %s)", pr.SpecFallback)
+		}
+		fmt.Println()
 	}
 	acct := out.Report.Acct
 	fmt.Printf("[%s] crash kernel read %d KB of main-kernel data (%.0f%% page tables)\n",

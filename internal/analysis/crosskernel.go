@@ -11,7 +11,9 @@ import (
 // physical memory may only be read through the designated counting reader —
 // the wrapper that validates CRCs and feeds the Table 4 byte accounting.
 // Direct calls to phys.Mem.ReadAt / ReadU64 / Frame bypass both, so every
-// such call outside a type marked `//owvet:reader` is a violation.
+// such call outside a type marked `//owvet:reader` is a violation — and so
+// is capturing one of those methods as a method value (`f := mem.ReadAt`),
+// which smuggles the unaccounted accessor past the call-site check.
 var CrossKernel = &Analyzer{
 	Name: "crosskernel",
 	Doc: "forbid direct phys.Mem reads in crash-kernel packages; " +
@@ -111,26 +113,40 @@ func runCrossKernel(p *Pass) {
 			if name := recvTypeName(fd); name != "" && readers[name] {
 				continue
 			}
+			// A selector in call position reports as a direct call; any
+			// other reference to the same method is a method value that
+			// escapes the call-site check — a parent CallExpr is always
+			// visited before its Fun child, so the set is populated in time.
+			called := make(map[*ast.SelectorExpr]bool)
 			ast.Inspect(fd.Body, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+						called[sel] = true
+					}
 					return true
 				}
-				sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+				sel, ok := n.(*ast.SelectorExpr)
 				if !ok || !crossKernelMethods[sel.Sel.Name] {
 					return true
 				}
 				selection := p.Pkg.Info.Selections[sel]
 				if selection == nil {
-					return true // package-qualified call, not a method
+					return true // package-qualified reference, not a method
 				}
 				if !isPhysMem(selection.Recv()) {
 					return true
 				}
-				p.Reportf(call.Pos(),
-					"direct phys.Mem.%s bypasses the CRC-verifying, Table-4-accounted reader; "+
-						"read dead-kernel memory through the %s-marked wrapper",
-					sel.Sel.Name, ReaderDirective)
+				if called[sel] {
+					p.Reportf(sel.Pos(),
+						"direct phys.Mem.%s bypasses the CRC-verifying, Table-4-accounted reader; "+
+							"read dead-kernel memory through the %s-marked wrapper",
+						sel.Sel.Name, ReaderDirective)
+				} else {
+					p.Reportf(sel.Pos(),
+						"method value phys.Mem.%s smuggles the unaccounted accessor past the call-site check; "+
+							"read dead-kernel memory through the %s-marked wrapper",
+						sel.Sel.Name, ReaderDirective)
+				}
 				return true
 			})
 		}

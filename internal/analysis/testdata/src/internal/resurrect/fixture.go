@@ -52,6 +52,34 @@ func throughReader(r *reader, addr uint64) (uint64, error) {
 	return r.word(addr)
 }
 
+// valueSmuggle captures the accessor as a method value: no CallExpr with a
+// phys.Mem receiver ever appears, but the unaccounted read still happens.
+func valueSmuggle(m *phys.Mem) error {
+	f := m.ReadAt // want `method value phys\.Mem\.ReadAt`
+	var b [8]byte
+	return f(0, b[:])
+}
+
+// valueSmuggleU64 passes the method value onward instead of calling it.
+func valueSmuggleU64(m *phys.Mem) func(uint64) (uint64, error) {
+	return m.ReadU64 // want `method value phys\.Mem\.ReadU64`
+}
+
+// readerValue shows a method value of the sanctioned wrapper is fine.
+func readerValue(r *reader) func(uint64, []byte) error {
+	return r.ReadAt
+}
+
+// pteFrameValue shows a Frame method value on a non-phys type is fine.
+func pteFrameValue(p pte) func() int {
+	return p.Frame
+}
+
+func allowedValue(m *phys.Mem) func(uint64) (uint64, error) {
+	//owvet:allow crosskernel: boot-time self-test probe, not dead-kernel parsing
+	return m.ReadU64
+}
+
 func allowedProbe(m *phys.Mem) error {
 	var b [4]byte
 	//owvet:allow crosskernel: boot-time self-test probe, not dead-kernel parsing

@@ -47,6 +47,13 @@ type Options struct {
 	// ResurrectIPC enables the Section 7 future-work extension: sockets
 	// and (unlocked) pipes are resurrected instead of reported missing.
 	ResurrectIPC bool
+	// LazyInstall enables the demand-paged resurrection install: validated
+	// candidates map their resident pages copy-on-access from the dead
+	// kernel's frames and resume as soon as their resurrection-critical
+	// records parse; each page is CRC-validated on first touch (or by the
+	// scheduler's background sweeper) and a corrupt speculation falls the
+	// whole candidate back to the eager full copy.
+	LazyInstall bool
 	// FastCrashBoot enables the Section 7 initialization optimizations:
 	// part of the crash kernel's init runs when it is installed, and it
 	// exploits the dead kernel's device information instead of a full
@@ -439,6 +446,7 @@ func (m *Machine) HandleFailure() (*FailureOutcome, error) {
 	engine := resurrect.NewEngine(crashK, kernel.GlobalsAddr, m.opts.VerifyCRC)
 	engine.MapPages = m.opts.MapPagesResurrection
 	engine.ResurrectIPC = m.opts.ResurrectIPC
+	engine.LazyInstall = m.opts.LazyInstall
 	engine.TraceRegion = m.ringRegion(img)
 	engine.Metrics = m.metrics
 	out.Report = engine.Run(m.opts.Resurrection)

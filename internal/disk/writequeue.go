@@ -10,15 +10,24 @@ import "sort"
 // (sim.CostModel.DiskBatchCost), so coalescing is visible in modeled time
 // as well as in the extent counters.
 //
-// Determinism: Flush's write order is a pure function of the enqueued set.
-// The sort is stable, so writes to the same offset land in enqueue order
-// (last write wins, as with the unbatched path).
+// Determinism: Flush's write order is a pure function of the enqueued set
+// and enqueue order. Overlapping writes (equal-offset or partial) resolve
+// last-writer-wins — the same final contents as the unbatched path — and
+// each final byte is issued and counted exactly once, so the
+// resurrect_flush_* counters never double-charge an overlapped payload.
 type WriteQueue struct {
 	pending []queuedWrite
 }
 
 type queuedWrite struct {
 	path string
+	off  int64
+	data []byte
+}
+
+// segment is one resolved, non-overlapping run of final file contents. Its
+// data is always a private copy, never an alias of a caller's buffer.
+type segment struct {
 	off  int64
 	data []byte
 }
@@ -32,42 +41,100 @@ func (q *WriteQueue) Enqueue(path string, off int64, data []byte) {
 // Pending reports the number of buffered writes.
 func (q *WriteQueue) Pending() int { return len(q.pending) }
 
-// Flush issues every buffered write through the callback in (path, offset)
-// order, merging runs of exactly adjacent same-path writes into single
-// extents. It returns the number of extents issued and the total payload
-// bytes, then empties the queue. On a write error the queue still empties;
-// the error is returned after the failing extent.
+// Flush resolves the buffered writes to their final contents — applying
+// them in enqueue order, so overlapping ranges are last-writer-wins — and
+// issues maximal contiguous same-path runs through the callback in
+// (path, offset) order. It returns the number of extents issued and the
+// total payload bytes; each final byte counts once no matter how many
+// queued writes covered it. The queue empties even on error; the error is
+// returned after the failing extent, with later extents unattempted.
 func (q *WriteQueue) Flush(write func(path string, off int64, data []byte) error) (extents int, bytes int64, err error) {
 	pend := q.pending
 	q.pending = nil
 	if len(pend) == 0 {
 		return 0, 0, nil
 	}
-	sort.SliceStable(pend, func(i, j int) bool {
-		if pend[i].path != pend[j].path {
-			return pend[i].path < pend[j].path
+
+	// Resolve per-path overlays in enqueue order (last writer wins), then
+	// visit paths in sorted order for the deterministic elevator schedule.
+	overlay := make(map[string][]segment)
+	paths := make([]string, 0, 4)
+	for _, w := range pend {
+		if _, ok := overlay[w.path]; !ok {
+			paths = append(paths, w.path)
 		}
-		return pend[i].off < pend[j].off
-	})
-	for i := 0; i < len(pend); {
-		// Grow the extent while the next write starts exactly where this
-		// one ends; overlapping or gapped writes start a new extent.
-		run := pend[i].data
-		end := pend[i].off + int64(len(pend[i].data))
-		j := i + 1
-		for ; j < len(pend); j++ {
-			if pend[j].path != pend[i].path || pend[j].off != end {
-				break
+		overlay[w.path] = splice(overlay[w.path], w.off, w.data)
+	}
+	sort.Strings(paths)
+
+	for _, path := range paths {
+		segs := overlay[path]
+		for i := 0; i < len(segs); {
+			// Merge exactly contiguous segments into one extent. Segments
+			// are sorted and non-overlapping by construction; the run is a
+			// fresh buffer so growing it cannot clobber a trimmed segment
+			// that still aliases an earlier copy.
+			run := append([]byte(nil), segs[i].data...)
+			end := segs[i].off + int64(len(run))
+			j := i + 1
+			for ; j < len(segs); j++ {
+				if segs[j].off != end {
+					break
+				}
+				run = append(run, segs[j].data...)
+				end += int64(len(segs[j].data))
 			}
-			run = append(run[:len(run):len(run)], pend[j].data...)
-			end += int64(len(pend[j].data))
+			extents++
+			bytes += int64(len(run))
+			if werr := write(path, segs[i].off, run); werr != nil {
+				return extents, bytes, werr
+			}
+			i = j
 		}
-		extents++
-		bytes += int64(len(run))
-		if werr := write(pend[i].path, pend[i].off, run); werr != nil {
-			return extents, bytes, werr
-		}
-		i = j
 	}
 	return extents, bytes, nil
+}
+
+// splice overlays one write onto a sorted, non-overlapping segment list:
+// the new data replaces whatever previous writes covered in [off, off+len),
+// trimming or splitting older segments as needed. Data is copied, so the
+// overlay never aliases caller buffers.
+func splice(segs []segment, off int64, data []byte) []segment {
+	if len(data) == 0 {
+		return segs
+	}
+	end := off + int64(len(data))
+	out := segs[:0:0]
+	inserted := false
+	insert := func() {
+		out = append(out, segment{off: off, data: append([]byte(nil), data...)})
+		inserted = true
+	}
+	for _, s := range segs {
+		sEnd := s.off + int64(len(s.data))
+		switch {
+		case sEnd <= off:
+			out = append(out, s)
+		case s.off >= end:
+			if !inserted {
+				insert()
+			}
+			out = append(out, s)
+		default:
+			// Overlap: keep the parts of s outside [off, end).
+			if s.off < off {
+				out = append(out, segment{off: s.off, data: s.data[:off-s.off]})
+			}
+			if !inserted {
+				insert()
+			}
+			if sEnd > end {
+				out = append(out, segment{off: end, data: s.data[end-s.off:]})
+			}
+		}
+	}
+	if !inserted {
+		insert()
+	}
+	return out
 }

@@ -108,14 +108,89 @@ func TestWriteQueueSameOffsetLastWriteWins(t *testing.T) {
 	q.Enqueue("f", 0, []byte("old!"))
 	q.Enqueue("f", 0, []byte("new!"))
 	var log []recordedWrite
-	if _, _, err := q.Flush(record(&log)); err != nil {
+	extents, n, err := q.Flush(record(&log))
+	if err != nil {
 		t.Fatal(err)
 	}
-	// The stable sort keeps enqueue order for equal offsets, so the later
-	// write lands last — the same final contents as the unbatched path.
-	last := log[len(log)-1]
-	if !bytes.Equal(last.data, []byte("new!")) {
-		t.Fatalf("last write = %q, want the later enqueue", last.data)
+	// Equal-offset writes resolve to the later enqueue — the same final
+	// contents as the unbatched path — issued once and counted once.
+	if extents != 1 || n != 4 || len(log) != 1 {
+		t.Fatalf("extents=%d bytes=%d writes=%d, want 1/4/1 (overlap must not double-count)",
+			extents, n, len(log))
+	}
+	if !bytes.Equal(log[0].data, []byte("new!")) {
+		t.Fatalf("flushed %q, want the later enqueue", log[0].data)
+	}
+}
+
+// TestWriteQueueOverlapLastWriterWins pins the regression where a partially
+// overlapping (not equal, not adjacent) write both started a new extent and
+// re-paid the overlapped payload in the bytes total. Overlap resolves
+// last-writer-wins, the merged run is one extent, and every final byte is
+// counted exactly once.
+func TestWriteQueueOverlapLastWriterWins(t *testing.T) {
+	var q WriteQueue
+	q.Enqueue("f", 0, []byte("AAAAAAAA")) // [0,8)
+	q.Enqueue("f", 4, []byte("BBBBBBBB")) // [4,12): overlaps the tail of the first
+	var log []recordedWrite
+	extents, n, err := q.Flush(record(&log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Final contents are 12 unique bytes in one contiguous run; the old
+	// code issued 2 extents totalling 16 bytes, double-charging [4,8).
+	if extents != 1 || n != 12 || len(log) != 1 {
+		t.Fatalf("extents=%d bytes=%d writes=%d, want 1/12/1", extents, n, len(log))
+	}
+	if log[0].off != 0 || !bytes.Equal(log[0].data, []byte("AAAABBBBBBBB")) {
+		t.Fatalf("flushed off=%d %q, want 0 %q", log[0].off, log[0].data, "AAAABBBBBBBB")
+	}
+
+	// Enqueue order decides the winner, not offset order: a later write
+	// that starts *before* an earlier one still overwrites the overlap.
+	q.Enqueue("g", 4, []byte("XXXX"))   // [4,8)
+	q.Enqueue("g", 0, []byte("yyyyyy")) // [0,6): later enqueue wins over [4,6)
+	log = nil
+	extents, n, err = q.Flush(record(&log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if extents != 1 || n != 8 || len(log) != 1 {
+		t.Fatalf("extents=%d bytes=%d writes=%d, want 1/8/1", extents, n, len(log))
+	}
+	if log[0].off != 0 || !bytes.Equal(log[0].data, []byte("yyyyyyXX")) {
+		t.Fatalf("flushed off=%d %q, want 0 %q", log[0].off, log[0].data, "yyyyyyXX")
+	}
+}
+
+// TestWriteQueueOverlapGapAndEqualMix drives all three relations through
+// one flush: an interior overwrite that splits a covering write, an exact
+// duplicate, and a gapped write that must stay its own extent.
+func TestWriteQueueOverlapGapAndEqualMix(t *testing.T) {
+	var q WriteQueue
+	q.Enqueue("f", 0, []byte("0123456789")) // [0,10)
+	q.Enqueue("f", 2, []byte("ab"))         // interior overwrite [2,4)
+	q.Enqueue("f", 2, []byte("cd"))         // equal-offset duplicate: last wins
+	q.Enqueue("f", 16, []byte("ZZ"))        // gap: separate extent
+	var log []recordedWrite
+	extents, n, err := q.Flush(record(&log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if extents != 2 || n != 12 {
+		t.Fatalf("extents=%d bytes=%d, want 2/12", extents, n)
+	}
+	want := []recordedWrite{
+		{"f", 0, []byte("01cd456789")},
+		{"f", 16, []byte("ZZ")},
+	}
+	if len(log) != len(want) {
+		t.Fatalf("writes = %d, want %d", len(log), len(want))
+	}
+	for i, w := range want {
+		if log[i].path != w.path || log[i].off != w.off || !bytes.Equal(log[i].data, w.data) {
+			t.Fatalf("extent %d = %+v, want %+v", i, log[i], w)
+		}
 	}
 }
 

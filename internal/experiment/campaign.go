@@ -82,6 +82,9 @@ type CampaignConfig struct {
 	// (0 = NumCPU). It only changes each experiment's modeled parallel
 	// interruption; every tallied outcome is identical at any width.
 	ResurrectWorkers int
+	// LazyInstall runs every experiment with the demand-paged resurrection
+	// install (resume at context install, validated copy-on-access pages).
+	LazyInstall bool
 	// SkipProtected skips the protected-mode corruption sub-campaign.
 	SkipProtected bool
 	// MemoryMB sizes experiment machines.
@@ -249,6 +252,7 @@ func runCampaignPass(cfg CampaignConfig, app string, protection bool, want int, 
 				ecfg.Hardening = cfg.Hardening
 				ecfg.VerifyCRC = cfg.VerifyCRC
 				ecfg.ResurrectWorkers = cfg.ResurrectWorkers
+				ecfg.LazyInstall = cfg.LazyInstall
 				if cfg.MemoryMB > 0 {
 					ecfg.MemoryMB = cfg.MemoryMB
 				}

@@ -104,6 +104,10 @@ type Config struct {
 	// (0 = NumCPU). The pool only changes the modeled interruption time;
 	// every other result field is byte-identical at any width.
 	ResurrectWorkers int
+	// LazyInstall enables the demand-paged resurrection install: processes
+	// resume as soon as their records parse, with page copies completed
+	// copy-on-access (CRC-validated) or by the background sweeper.
+	LazyInstall bool
 }
 
 // DefaultConfig returns the paper's experiment parameters.
@@ -194,6 +198,7 @@ func runBody(cfg Config, mp **core.Machine) Result {
 	opts.Hardening = cfg.Hardening
 	opts.Seed = cfg.Seed
 	opts.Resurrection.Workers = cfg.ResurrectWorkers
+	opts.LazyInstall = cfg.LazyInstall
 
 	m, err := core.NewMachine(opts)
 	if err != nil {

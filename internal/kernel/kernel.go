@@ -106,6 +106,22 @@ type Params struct {
 	FastBoot bool
 }
 
+// SpeculationResolver turns a speculated (copy-on-access) page into a
+// resident one. The resurrection engine's lazy install registers one on the
+// crash kernel: the page-fault path calls ResolveSpeculated on first touch,
+// and the scheduler drives SweepSpeculated between quanta so every
+// speculation is eventually resolved even if never touched.
+type SpeculationResolver interface {
+	// ResolveSpeculated validates and privately copies the speculated page
+	// at page-aligned va, replacing the PTE with a resident mapping. It must
+	// leave the page resident even when validation fails (the fallback path
+	// copies the scan-time snapshot instead).
+	ResolveSpeculated(p *Process, va uint64) error
+	// SweepSpeculated resolves up to limit pending speculations in a
+	// deterministic order, returning how many pages it resolved or released.
+	SweepSpeculated(limit int) (int, error)
+}
+
 // Kernel is a running operating system kernel instance.
 type Kernel struct {
 	M  *hw.Machine
@@ -157,6 +173,11 @@ type Kernel struct {
 	// the crash kernel parses after a failure (package trace). It is
 	// attached by core after boot; nil (tracing off) is always safe.
 	Tracer *trace.Ring
+
+	// Spec resolves speculated (copy-on-access) pages left behind by the
+	// lazy resurrection install; nil means no speculations are outstanding
+	// and a speculated PTE is a page-table corruption.
+	Spec SpeculationResolver
 
 	// resurrectionLog collects one-line events for the narrated demo.
 	Log []string

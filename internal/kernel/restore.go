@@ -146,6 +146,25 @@ func (k *Kernel) InstallResidentPageMapped(p *Process, va uint64, frame int, wri
 	return k.setPTE(pteAddr, pte)
 }
 
+// InstallSpeculatedPage is the lazy install's copy-on-access case: instead
+// of copying the dead kernel's page (or adopting it permanently, as the
+// footnote-3 map mode does), the crash kernel writes a speculated PTE whose
+// frame bits name the dead frame, and adopts that frame as FrameSpeculated
+// so the morph cannot recycle it while the speculation is outstanding. The
+// first touch — or the background sweeper — validates the contents and
+// replaces the entry with the resident private copy an eager install would
+// have produced.
+func (k *Kernel) InstallSpeculatedPage(p *Process, va uint64, deadFrame int, writable, dirty bool) error {
+	pteAddr, _, err := k.walk(p, va, true)
+	if err != nil {
+		return err
+	}
+	if err := k.Alloc.AdoptFrame(deadFrame, phys.FrameSpeculated); err != nil {
+		return err
+	}
+	return k.setPTE(pteAddr, layout.MakeSpeculatedPTE(deadFrame, writable, dirty))
+}
+
 // InstallSwappedPage re-stages a page that the dead kernel had swapped out:
 // the contents (read from the dead kernel's partition) are written to a
 // fresh slot on *this* kernel's partition (Section 3.2's two-partition

@@ -12,6 +12,13 @@ import (
 // few hundred quanta of context at panic time.
 const schedTraceInterval = 8
 
+// specSweepPerRound is how many outstanding speculated pages the background
+// sweeper resolves after each round-robin round: enough to drain a large
+// resurrected image within a normal run, small enough that the per-round
+// stall stays bounded. The sweep order is deterministic (sorted PID, then
+// VA), so scheduling is replayable.
+const specSweepPerRound = 8
+
 // StepProcess runs one quantum of a process on CPU 0, with the next
 // runnable process notionally executing on CPU 1 (the paper's test machine
 // had two processors; which threads are current matters for the halt-NMI
@@ -102,6 +109,20 @@ func (k *Kernel) Run(maxSteps int) RunResult {
 					res.Panic = k.panicState
 					return res
 				}
+			}
+		}
+		// Background sweep: complete a few of the lazy install's pending
+		// page copies each round so speculation drains even for pages the
+		// programs never touch. Sweep progress counts as progress — the
+		// machine is not idle while resurrection copies are outstanding.
+		if k.Spec != nil {
+			swept, serr := k.Spec.SweepSpeculated(specSweepPerRound)
+			if serr != nil || k.panicState != nil {
+				res.Panic = k.panicState
+				return res
+			}
+			if swept > 0 {
+				progressed = true
 			}
 		}
 		if k.panicState != nil {

@@ -133,6 +133,13 @@ func (k *Kernel) allocFrame(kind phys.FrameKind) (int, error) {
 	return 0, k.oopsf(OopsOOM, "out of memory: no frames and nothing to evict")
 }
 
+// AllocUserFrame allocates a user frame through the reclaim-capable path,
+// for the speculation resolver's private copies (it lives outside this
+// package and cannot reach allocFrame directly).
+func (k *Kernel) AllocUserFrame() (int, error) {
+	return k.allocFrame(phys.FrameUser)
+}
+
 // touchPage makes the page at va resident, performing demand-zero fill,
 // file-backed fill or swap-in as needed, and returns its frame.
 func (k *Kernel) touchPage(p *Process, va uint64, write bool) (int, error) {
@@ -148,6 +155,33 @@ func (k *Kernel) touchPage(p *Process, va uint64, write bool) (int, error) {
 		}
 		if write {
 			if err := k.setPTE(pteAddr, pte.WithDirty()); err != nil {
+				return 0, err
+			}
+		}
+		return frame, nil
+
+	case pte.Speculated():
+		// Lazy-install page: the PTE references the dead kernel's frame
+		// copy-on-access. The resolver validates the contents and replaces
+		// the entry with a resident private copy (or the eager-fallback
+		// copy), charging the consuming process's timeline.
+		k.Perf.PageFaults++
+		if k.Spec == nil {
+			return 0, k.oopsf(OopsBadPageTable, "pid %d speculated PTE for %#x with no resolver", p.PID, va)
+		}
+		if rerr := k.Spec.ResolveSpeculated(p, va&^uint64(phys.PageSize-1)); rerr != nil {
+			return 0, rerr
+		}
+		_, npte, werr := k.walk(p, va, false)
+		if werr != nil {
+			return 0, werr
+		}
+		if !npte.Present() {
+			return 0, k.oopsf(OopsBadPageTable, "pid %d speculation resolver left %#x non-resident", p.PID, va)
+		}
+		frame := npte.Frame()
+		if write {
+			if err := k.setPTE(pteAddr, npte.WithDirty()); err != nil {
 				return 0, err
 			}
 		}

@@ -23,23 +23,28 @@ const DirEntries = 512
 
 // PTE is a single page-table entry packed into 64 bits:
 //
-//	bit 0      present   (page resident in a physical frame)
-//	bit 1      swapped   (page stored in a swap slot)
+//	bit 0      present    (page resident in a physical frame)
+//	bit 1      swapped    (page stored in a swap slot)
 //	bit 2      dirty
 //	bit 3      writable
 //	bit 4      accessed
-//	bits 12..  frame number (present) or swap slot (swapped)
+//	bit 5      speculated (page mapped copy-on-access from a dead kernel frame)
+//	bits 12..  frame number (present/speculated) or swap slot (swapped)
 //
-// A PTE of zero means the page was never touched.
+// A PTE of zero means the page was never touched. A speculated entry is
+// neither present nor swapped: its frame bits name the *dead* kernel's frame
+// holding the page contents, and the first touch validates and privately
+// copies them (the lazy resurrection install).
 type PTE uint64
 
 // PTE flag bits.
 const (
-	PTEPresent  PTE = 1 << 0
-	PTESwapped  PTE = 1 << 1
-	PTEDirty    PTE = 1 << 2
-	PTEWritable PTE = 1 << 3
-	PTEAccessed PTE = 1 << 4
+	PTEPresent    PTE = 1 << 0
+	PTESwapped    PTE = 1 << 1
+	PTEDirty      PTE = 1 << 2
+	PTEWritable   PTE = 1 << 3
+	PTEAccessed   PTE = 1 << 4
+	PTESpeculated PTE = 1 << 5
 )
 
 // MakePresentPTE builds an entry mapping a resident frame.
@@ -60,11 +65,30 @@ func MakeSwappedPTE(slot int, writable bool) PTE {
 	return p
 }
 
+// MakeSpeculatedPTE builds a copy-on-access entry whose frame bits name the
+// dead kernel's frame still holding the page contents. The dirty bit is
+// carried so the eventual resident mapping reproduces exactly the PTE an
+// eager install would have written.
+func MakeSpeculatedPTE(deadFrame int, writable, dirty bool) PTE {
+	p := PTE(uint64(deadFrame)<<12) | PTESpeculated
+	if writable {
+		p |= PTEWritable
+	}
+	if dirty {
+		p |= PTEDirty
+	}
+	return p
+}
+
 // Present reports whether the page is resident.
 func (p PTE) Present() bool { return p&PTEPresent != 0 }
 
 // Swapped reports whether the page lives in swap.
 func (p PTE) Swapped() bool { return p&PTESwapped != 0 }
+
+// Speculated reports whether the page is mapped copy-on-access from a dead
+// kernel frame, awaiting first-touch validation.
+func (p PTE) Speculated() bool { return p&PTESpeculated != 0 }
 
 // Dirty reports whether the page has been written since mapping.
 func (p PTE) Dirty() bool { return p&PTEDirty != 0 }

@@ -189,6 +189,14 @@ func (a *FrameAllocator) AdoptFrame(f int, k FrameKind) error {
 	return a.mem.SetKind(f, k)
 }
 
+// CanAdopt reports whether AdoptFrame(f, …) would succeed: f is an installed
+// frame the allocator does not already manage. The lazy resurrection install
+// validates every speculation candidate with it before committing to a
+// copy-on-access mapping.
+func (a *FrameAllocator) CanAdopt(f int) bool {
+	return f >= 0 && f < a.mem.NumFrames() && !a.inSet[f]
+}
+
 // Manages reports whether frame f is part of the allocator's frame set.
 func (a *FrameAllocator) Manages(f int) bool { return a.inSet[f] }
 

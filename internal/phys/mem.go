@@ -48,11 +48,18 @@ const (
 	FrameCrashImage
 	// FrameReserved is reserved for the crash kernel's own working memory.
 	FrameReserved
+	// FrameSpeculated is a dead kernel's user frame kept alive by the lazy
+	// resurrection install: a resurrected process's page table references it
+	// copy-on-access until first-touch validation copies it out (or the
+	// background sweeper does). Adopted by the crash kernel's allocator so
+	// the morph never recycles it while a speculation still points at it.
+	FrameSpeculated
 )
 
 var frameKindNames = [...]string{
 	"free", "kernel-text", "kernel-heap", "kernel-stack",
 	"page-table", "user", "page-cache", "crash-image", "reserved",
+	"speculated",
 }
 
 func (k FrameKind) String() string {

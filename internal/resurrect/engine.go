@@ -212,6 +212,22 @@ type ProcReport struct {
 	// Both are subsets of PagesCopied.
 	PagesElided  int
 	PagesDeduped int
+	// PagesSpeculated counts resident pages the lazy install mapped
+	// copy-on-access from the dead kernel instead of copying (also a
+	// subset of PagesCopied); zero for eager installs.
+	PagesSpeculated int
+	// SavedBytes is the actual copy volume zero elision and dedup avoided:
+	// the sum over elided/deduped pages of the bytes their regions cover in
+	// the page, not a frame-sized 4 KB per page (a tail page of a
+	// non-page-multiple region saves only its live tail).
+	SavedBytes int64
+	// SpecFallback is the structured attribution when the lazy install
+	// abandoned speculation for this process — validation refusal at
+	// classify time, or a CRC mismatch on a touch during the crash
+	// procedure. Empty for eager installs and clean speculations. It is
+	// deliberately excluded from Fingerprint: an all-fallback lazy pass
+	// must fingerprint identically to the eager pass it degraded to.
+	SpecFallback string
 	// DirtyFlushed counts dirty page-cache pages written to disk;
 	// FlushExtents counts the block-sorted extents the write-combining
 	// queue merged them into (one modeled seek each).
@@ -281,6 +297,15 @@ type Engine struct {
 	// restored instead of reported as missing. The paper's prototype did
 	// not do this; it is off by default.
 	ResurrectIPC bool
+	// LazyInstall enables the demand-paged install (fastpath.go, lazy.go):
+	// validated candidates speculate their non-zero resident pages —
+	// mapped copy-on-access from the dead kernel's frames, CRC-validated
+	// on first touch, completed by the scheduler's background sweeper —
+	// and resume as soon as their resurrection-critical records parse.
+	// PerCandidate and Duration then measure time-to-resume (the blocked
+	// span) instead of time-to-full-copy; a speculated page that fails
+	// validation falls its whole candidate back to the eager full copy.
+	LazyInstall bool
 	// TraceRegion is the dead kernel's flight-recorder ring (zero region
 	// when tracing is off); Run parses it into Report.Trace through the
 	// counting reader.
@@ -294,6 +319,10 @@ type Engine struct {
 
 	rd   reader
 	acct Accounting
+	// lazy is the speculation table when LazyInstall is on; it outlives Run
+	// (registered as K.Spec) so post-resume touches and the scheduler's
+	// sweeper can keep resolving pages.
+	lazy *lazyState
 }
 
 // NewEngine prepares an engine over the crash kernel k.
@@ -460,29 +489,58 @@ func (e *Engine) Run(cfg Config) *Report {
 	// against a detached clock so their serially-executed virtual time is
 	// re-attributed to each candidate's span in the parallel schedule
 	// instead of accumulating on the machine clock.
+	//
+	// The lazy install registers its speculation table as the kernel's
+	// resolver first: crash procedures run inside installOne and may touch
+	// speculated pages, so resolution must already work mid-install.
+	if e.LazyInstall {
+		e.lazy = newLazyState(e)
+		e.lazy.installing = true
+		e.K.Spec = e.lazy
+	}
 	liveClock := e.K.M.Clock
 	scratch := sim.NewClock()
 	e.K.M.Clock = scratch
+	// perCand is each candidate's *blocked* span — scan plus install time
+	// until the process was runnable; totals is scan plus the full install
+	// including the crash procedure. Eager installs block to the end, so
+	// the two are identical there and all eager observables are unchanged.
 	perCand := make([]time.Duration, len(selected))
+	totals := make([]time.Duration, len(selected))
 	for i, pl := range plans {
 		m0 := scratch.Now()
+		pl.resumeClock = -1
 		rep.Procs = append(rep.Procs, e.installOne(pl))
-		perCand[i] = pl.scanDur + scratch.Since(m0)
+		totals[i] = pl.scanDur + scratch.Since(m0)
+		perCand[i] = totals[i]
+		if pl.resumeClock >= 0 {
+			// Lazy candidate: it resumed at context install; everything
+			// after that (the crash procedure, the policy decision, the
+			// deferred page copies) overlaps normal operation.
+			perCand[i] = pl.scanDur + (pl.resumeClock - m0)
+		}
 	}
 	e.K.M.Clock = liveClock
+	if e.lazy != nil {
+		e.lazy.installing = false
+	}
 
 	rep.Acct = e.acct
 	rep.PerCandidate = perCand
 	spans := shardSpans(perCand, workers)
-	critical := maxSpan(spans)
+	totalSpans := shardSpans(totals, workers)
+	critical := maxSpan(totalSpans)
 	// The interruption clock models the parallel schedule: prologue (already
-	// on the clock) plus the slowest worker. The serial morph epilogue is
+	// on the clock) plus the slowest worker. The machine advances by the
+	// *total* critical path — lazy or not, the install work all happened —
+	// while Duration sums only the blocked spans, the per-process
+	// interruption the paper's tables measure. The serial morph epilogue is
 	// charged by core after Run returns.
 	e.K.M.Clock.Advance(critical)
 	rep.Duration = rep.Prologue + sumSpans(spans)
 	rep.Parallel = ParallelStats{
 		Workers:      workers,
-		PerWorker:    spans,
+		PerWorker:    totalSpans,
 		CriticalPath: critical,
 		Duration:     e.K.M.Clock.Since(start),
 	}
@@ -521,9 +579,10 @@ func (r *Report) Fingerprint() string {
 			c.PID, c.Name, c.Program, c.Addr, c.CrashProc)
 	}
 	for _, p := range r.Procs {
-		fmt.Fprintf(&b, "proc pid=%d outcome=%s newpid=%d missing=%v cpcalled=%v copied=%d elided=%d deduped=%d restaged=%d flushed=%d extents=%d err=%v\n",
+		fmt.Fprintf(&b, "proc pid=%d outcome=%s newpid=%d missing=%v cpcalled=%v copied=%d elided=%d deduped=%d spec=%d saved=%d restaged=%d flushed=%d extents=%d err=%v\n",
 			p.Candidate.PID, p.Outcome, p.NewPID, p.Missing, p.CrashProcCalled,
 			p.PagesCopied, p.PagesElided, p.PagesDeduped,
+			p.PagesSpeculated, p.SavedBytes,
 			p.PagesRestaged, p.DirtyFlushed, p.FlushExtents, p.Err)
 		for _, st := range p.Timeline {
 			fmt.Fprintf(&b, "  phase=%s pages=%d bytes=%d dur=%v err=%q\n",

@@ -123,10 +123,12 @@ func (e *Engine) installOne(pl *plan) ProcReport {
 	// Install the pages the scan captured. An error is attributed to the
 	// re-stage phase once swap reading had begun, matching the serial
 	// engine's split of the single page walk into two timeline entries.
-	copied, restaged, elided, deduped := 0, 0, 0, 0
+	copied, restaged, elided, deduped, speculated := 0, 0, 0, 0, 0
+	var saved int64
 	swapSeen := false
 	pageErr := pl.pagesErr
-	for _, pg := range pl.pages {
+	for i := range pl.pages {
+		pg := &pl.pages[i]
 		var ierr error
 		switch {
 		case pg.swapped:
@@ -136,6 +138,15 @@ func (e *Engine) installOne(pl *plan) ProcReport {
 			ierr = e.K.InstallResidentPageMapped(np, pg.va, pg.frame, pg.writable, pg.dirty)
 		case pg.zero:
 			ierr = e.K.InstallZeroPage(np, pg.va, pg.writable, pg.dirty)
+		case pg.speculated:
+			// Lazy install: adopt the dead frame and map it copy-on-access;
+			// the page materializes on first touch or by the background
+			// sweeper (lazy.go). Classification vetted the adoption, so a
+			// failure here is a real install error.
+			ierr = e.K.InstallSpeculatedPage(np, pg.va, pg.frame, pg.writable, pg.dirty)
+			if ierr == nil {
+				e.lazy.register(np.PID, pg)
+			}
 		default:
 			// Dedup hits pass the cache's canonical buffer here; the
 			// install still fills a private frame from it, so candidates
@@ -151,14 +162,21 @@ func (e *Engine) installOne(pl *plan) ProcReport {
 			continue
 		}
 		copied++
-		if pg.zero {
+		switch {
+		case pg.zero:
 			elided++
-		} else if pg.deduped {
+			saved += pg.saved
+		case pg.deduped:
 			deduped++
+			saved += pg.saved
+		case pg.speculated:
+			speculated++
 		}
 	}
 	pr.PagesCopied, pr.PagesRestaged = copied, restaged
 	pr.PagesElided, pr.PagesDeduped = elided, deduped
+	pr.PagesSpeculated, pr.SavedBytes = speculated, saved
+	pr.SpecFallback = pl.fallbackReason
 	scPC, scSR := pl.phase[PhasePageCopy], pl.phase[PhaseSwapRestage]
 	dur := scPC.dur + e.K.M.Clock.Since(markTime)
 	markTime = e.K.M.Clock.Now()
@@ -257,9 +275,24 @@ func (e *Engine) installOne(pl *plan) ProcReport {
 		return fail(PhaseContext, fmt.Errorf("install context: %w", err))
 	}
 	step(PhaseContext, 0, nil)
+	if pl.lazy {
+		// The process is runnable from here: its context is installed and
+		// every resurrection-critical record parsed. The crash procedure
+		// and policy decision below still run — and still cost virtual
+		// time — but they overlap normal operation, so Run charges them to
+		// the machine's schedule, not to this candidate's blocked span.
+		pl.resumeClock = e.K.M.Clock.Now()
+	}
 
 	// Table 1 policy.
 	pr = e.applyPolicy(np, pl.cand, pr)
+	if e.lazy != nil {
+		// A crash-procedure touch may have failed CRC validation and fallen
+		// the candidate back mid-resume; surface the attribution here.
+		if reason, ok := e.lazy.takeFallback(np.PID); ok && pr.SpecFallback == "" {
+			pr.SpecFallback = reason
+		}
+	}
 	step(PhasePolicy, 0, pr.Err)
 	return pr
 }

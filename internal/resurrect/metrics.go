@@ -29,12 +29,19 @@ func (e *Engine) publish(rep *Report) {
 		return
 	}
 	reg.Counter("resurrect_runs_total", "resurrection passes executed", nil).Inc()
-	var elided, deduped, extents, flushedPages int64
+	var elided, deduped, speculated, saved, extents, flushedPages int64
 	for _, p := range rep.Procs {
 		elided += int64(p.PagesElided)
 		deduped += int64(p.PagesDeduped)
+		speculated += int64(p.PagesSpeculated)
+		saved += p.SavedBytes
 		extents += int64(p.FlushExtents)
 		flushedPages += int64(p.DirtyFlushed)
+		if p.SpecFallback != "" {
+			reg.Counter("resurrect_spec_fallbacks_total",
+				"candidates whose speculation was abandoned for the eager copy",
+				metrics.Labels{"stage": "install"}).Inc()
+		}
 		reg.Counter("resurrect_candidates_total", "candidates by final outcome",
 			metrics.Labels{"outcome": p.Outcome.String()}).Inc()
 		for _, st := range p.Timeline {
@@ -66,9 +73,15 @@ func (e *Engine) publish(rep *Report) {
 		"all-zero pages installed by zero-fill instead of copy", nil).Add(elided)
 	reg.Counter("resurrect_pages_deduped_total",
 		"pages filled from the dedup cache's canonical copy", nil).Add(deduped)
+	reg.Counter("resurrect_pages_speculated_total",
+		"pages the lazy install mapped copy-on-access instead of copying", nil).Add(speculated)
+	// The saved-bytes counter adds the *actual* copy volume avoided, summed
+	// from the per-page region coverage the classification computed — not
+	// (elided+deduped)*PageSize, which overcounted the partial tail page of
+	// every non-page-multiple region.
 	reg.Counter("resurrect_fastpath_saved_bytes_total",
 		"install-phase copy bytes avoided by zero elision and dedup", nil).
-		Add((elided + deduped) * pageBytes)
+		Add(saved)
 	reg.Counter("resurrect_flush_pages_total",
 		"dirty page-cache pages flushed through the write-combining queue", nil).Add(flushedPages)
 	reg.Counter("resurrect_flush_extents_total",

@@ -51,17 +51,23 @@ type filePlan struct {
 // mapping (footnote-3 mode), or a swapped page read raw off the dead
 // kernel's partition. The fast-path classification pass (fastpath.go) may
 // mark a resident copy zero-elided (data dropped, install zero-fills) or
-// deduplicated (data re-pointed at the canonical cached copy).
+// deduplicated (data re-pointed at the canonical cached copy); the lazy
+// install's classification may instead mark it speculated (mapped
+// copy-on-access from the dead frame, validated by crc on first touch,
+// with data kept as the scan-time snapshot the fallback installs).
 type pagePlan struct {
-	va       uint64
-	swapped  bool
-	mapped   bool
-	zero     bool // all-zero page: install a zero-filled frame instead
-	deduped  bool // data aliases the dedup cache's canonical copy
-	frame    int  // mapped mode: the dead kernel's frame, adopted in place
-	data     []byte
-	writable bool
-	dirty    bool
+	va         uint64
+	swapped    bool
+	mapped     bool
+	zero       bool // all-zero page: install a zero-filled frame instead
+	deduped    bool // data aliases the dedup cache's canonical copy
+	speculated bool // lazy install: map copy-on-access from the dead frame
+	frame      int  // the dead kernel's frame holding the page contents
+	crc        uint32
+	saved      int64 // actual copy bytes avoided (elided/deduped pages)
+	data       []byte
+	writable   bool
+	dirty      bool
 }
 
 // shmPlan is one decoded shared-memory segment with its page contents.
@@ -118,6 +124,19 @@ type plan struct {
 	phase map[Phase]phaseScan
 	// scanDur is the candidate's total scan-side virtual time.
 	scanDur time.Duration
+
+	// lazy marks the candidate for the demand-paged install: non-zero
+	// resident pages are speculated (mapped copy-on-access from the dead
+	// frame) and the process resumes as soon as its context installs.
+	lazy bool
+	// fallbackReason is the structured attribution recorded when the lazy
+	// install's validation refused to speculate this candidate; it then
+	// installs eagerly, through the ordinary full-copy classification.
+	fallbackReason string
+	// resumeClock is the scratch-clock instant the process became runnable
+	// (context installed). Run seeds it with -1; eager installs leave it
+	// there, meaning the candidate blocked until its install finished.
+	resumeClock time.Duration
 }
 
 // scanner is one worker's read-only view of the dead kernel. It charges
@@ -412,16 +431,19 @@ func (s *scanner) scanPages(old *layout.Proc, copied, restaged *int) ([]pagePlan
 			}
 			va := layout.VirtJoin(dir, t, 0)
 			switch {
-			case pte.Present():
+			// A speculated PTE in a *dead* kernel means it crashed before
+			// its own lazy install finished resolving; the referenced frame
+			// still holds the page's authoritative contents (writes resolve
+			// before landing), so it scans exactly like a present page.
+			case pte.Present(), pte.Speculated():
 				frame := pte.Frame()
 				if frame >= s.numFrames {
 					return out, fmt.Errorf("PTE for %#x references frame %d beyond memory", va, frame)
 				}
-				pp := pagePlan{va: va, writable: pte.Writable(), dirty: pte.Dirty()}
+				pp := pagePlan{va: va, frame: frame, writable: pte.Writable(), dirty: pte.Dirty()}
 				if s.mapPages {
 					// Footnote-3 fast path: adopt the frame in place.
 					pp.mapped = true
-					pp.frame = frame
 					s.charge(s.cost.RecordParseOverhead)
 				} else {
 					buf := make([]byte, phys.PageSize)

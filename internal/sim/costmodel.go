@@ -63,6 +63,14 @@ type CostModel struct {
 	// pays one seek, so coalescing adjacent dirty pages is visible in
 	// modeled time as well as in the extent counters.
 	DiskSeekOverhead time.Duration
+	// SpecMapCost is the per-page cost of installing a copy-on-access
+	// (speculated) mapping during the lazy resurrection install: one PTE
+	// write plus the allocator adoption bookkeeping — no data moves.
+	SpecMapCost time.Duration
+	// SpecValidateCost is the first-touch validation cost of a speculated
+	// page: the CRC pass over 4 KB before the private copy is made. Charged
+	// on the consuming process's timeline, not the resurrection pass.
+	SpecValidateCost time.Duration
 }
 
 // DefaultCostModel returns the calibration used throughout the reproduction.
@@ -86,6 +94,8 @@ func DefaultCostModel() CostModel {
 		ZeroFillCost:         1 * time.Microsecond,  // clear beats copy ~5×
 		DedupHitCost:         600 * time.Nanosecond, // hash probe + warm copy
 		DiskSeekOverhead:     4 * time.Millisecond,  // 2006-era average seek
+		SpecMapCost:          300 * time.Nanosecond, // PTE write + adoption
+		SpecValidateCost:     1 * time.Microsecond,  // CRC over one 4 KB page
 	}
 }
 
