@@ -10,10 +10,15 @@ vet:
 
 # lint runs owvet, the repo's own static-analysis suite (see DESIGN.md
 # "Enforced invariants"): cross-kernel memory discipline, campaign
-# determinism, modeled-panic usage, substrate error handling and lock
-# hygiene. Exits non-zero on any diagnostic.
+# determinism, modeled-panic usage, substrate error handling, lock
+# hygiene, dead-byte provenance (deadtaint), machine-clock cost accounting
+# (costaccount) and the sealed-ledger publish discipline (sealedacct).
+# Findings are diffed against the committed owvet.baseline.json (currently
+# empty — the tree is clean) so only NEW violations fail; the full finding
+# set lands in .artifacts/owvet.sarif for code-scanning upload.
 lint: build
-	$(GO) run ./cmd/owvet
+	mkdir -p .artifacts
+	$(GO) run ./cmd/owvet -baseline owvet.baseline.json -sarif .artifacts/owvet.sarif
 
 test:
 	$(GO) test ./...

@@ -1,16 +1,29 @@
 // Command owvet runs the repository's static-analysis suite
 // (internal/analysis): machine-checked enforcement of the cross-kernel
 // memory discipline, campaign determinism, panic modeling, substrate error
-// handling and lock discipline invariants the paper's correctness argument
-// depends on. It is part of the `make verify` gate.
+// handling, lock discipline, dead-byte provenance (deadtaint), machine-clock
+// cost accounting (costaccount) and the sealed-ledger publish discipline
+// (sealedacct) the paper's correctness argument depends on. It is part of
+// the `make verify` gate.
 //
 // Usage:
 //
-//	owvet [-C dir] [-json] [-enable csv] [-disable csv] [-list]
+//	owvet [-C dir] [-json] [-sarif file] [-baseline file]
+//	      [-write-baseline file] [-enable csv] [-disable csv]
+//	      [-workers n] [-timing] [-list]
 //
 // owvet walks the enclosing module (found from -C or the working
 // directory) itself — no go/packages, no external dependencies — and exits
-// 1 if any diagnostic is reported, 2 on usage or load errors.
+// 1 if any non-grandfathered diagnostic is reported, 2 on usage or load
+// errors.
+//
+// -sarif writes a SARIF 2.1.0 log of every diagnostic ("-" for stdout), for
+// code-scanning upload. -baseline subtracts a committed baseline file (the
+// -json schema, written with -write-baseline) so only new findings gate the
+// exit code; grandfathered ones are reported with a "(baseline)" marker.
+// Analyzer passes fan out over -workers goroutines (0 = GOMAXPROCS) with
+// byte-identical output at any width; -timing prints where the run spent
+// its time.
 //
 // A diagnostic is suppressed with a comment on, or directly above, the
 // flagged line:
@@ -21,6 +34,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -28,48 +42,130 @@ import (
 )
 
 func main() {
-	dir := flag.String("C", ".", "directory inside the module to analyze")
-	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON (stable schema)")
-	enable := flag.String("enable", "", "comma-separated analyzers to run (default: all)")
-	disable := flag.String("disable", "", "comma-separated analyzers to skip")
-	list := flag.Bool("list", false, "list analyzers and exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable driver: parses args, executes the suite, renders
+// output to stdout/stderr and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("owvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("C", ".", "directory inside the module to analyze")
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON (stable schema)")
+	sarifOut := fs.String("sarif", "", "write a SARIF 2.1.0 log to `file` (\"-\" for stdout)")
+	baselinePath := fs.String("baseline", "", "subtract the baseline `file`; only new findings fail")
+	writeBaseline := fs.String("write-baseline", "", "write current findings to `file` as the new baseline and exit 0")
+	enable := fs.String("enable", "", "comma-separated analyzers to run (default: all)")
+	disable := fs.String("disable", "", "comma-separated analyzers to skip")
+	workers := fs.Int("workers", 0, "concurrent package passes (0 = GOMAXPROCS)")
+	timing := fs.Bool("timing", false, "print per-phase and per-analyzer wall time to stderr")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, a := range analysis.All {
-			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 
 	root, err := analysis.FindModuleRoot(*dir)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "owvet:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "owvet:", err)
+		return 2
 	}
-	cfg := analysis.Config{Enable: splitCSV(*enable), Disable: splitCSV(*disable)}
-	diags, err := analysis.Run(root, cfg)
+	cfg := analysis.Config{
+		Enable:  splitCSV(*enable),
+		Disable: splitCSV(*disable),
+		Workers: *workers,
+	}
+	diags, stats, err := analysis.RunWithStats(root, cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "owvet:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "owvet:", err)
+		return 2
+	}
+	if *timing {
+		stats.WriteTimings(stderr)
+	}
+
+	// The SARIF log and a written baseline record the full finding set;
+	// the baseline subtraction below only decides reporting and exit code.
+	if *sarifOut != "" {
+		if err := writeTo(*sarifOut, stdout, func(w io.Writer) error {
+			return analysis.WriteSARIF(w, diags)
+		}); err != nil {
+			fmt.Fprintln(stderr, "owvet:", err)
+			return 2
+		}
+	}
+	if *writeBaseline != "" {
+		if err := writeTo(*writeBaseline, stdout, func(w io.Writer) error {
+			return analysis.WriteJSON(w, diags)
+		}); err != nil {
+			fmt.Fprintln(stderr, "owvet:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "owvet: baseline of %d finding(s) written to %s\n",
+			len(diags), *writeBaseline)
+		return 0
+	}
+
+	gating := diags
+	if *baselinePath != "" {
+		base, err := analysis.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "owvet:", err)
+			return 2
+		}
+		gating = analysis.DiffBaseline(diags, base)
 	}
 
 	if *jsonOut {
-		if err := analysis.WriteJSON(os.Stdout, diags); err != nil {
-			fmt.Fprintln(os.Stderr, "owvet:", err)
-			os.Exit(2)
+		if err := analysis.WriteJSON(stdout, gating); err != nil {
+			fmt.Fprintln(stderr, "owvet:", err)
+			return 2
 		}
 	} else {
-		for _, d := range diags {
-			fmt.Println(d)
+		fresh := make(map[int]bool, len(gating))
+		for i, j := 0, 0; i < len(diags) && j < len(gating); i++ {
+			if diags[i] == gating[j] {
+				fresh[i] = true
+				j++
+			}
+		}
+		for i, d := range diags {
+			if fresh[i] || *baselinePath == "" {
+				fmt.Fprintln(stdout, d)
+			} else {
+				fmt.Fprintf(stdout, "%s (baseline)\n", d)
+			}
 		}
 	}
-	if len(diags) > 0 {
+	if len(gating) > 0 {
 		if !*jsonOut {
-			fmt.Fprintf(os.Stderr, "owvet: %d diagnostic(s)\n", len(diags))
+			fmt.Fprintf(stderr, "owvet: %d diagnostic(s)\n", len(gating))
 		}
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+// writeTo streams through f into path, with "-" meaning stdout.
+func writeTo(path string, stdout io.Writer, f func(io.Writer) error) error {
+	if path == "-" {
+		return f(stdout)
+	}
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := f(file); err != nil {
+		file.Close()
+		return err
+	}
+	return file.Close()
 }
 
 func splitCSV(s string) []string {

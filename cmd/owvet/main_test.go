@@ -1,0 +1,156 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixtureModule is the analysis package's miniature module, reused here so
+// the driver-level tests exercise real diagnostics.
+const fixtureModule = "../../internal/analysis/testdata/src"
+
+func runOwvet(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestLoadErrorExitsTwo pins the failure contract: a module that does not
+// parse or type-check is a hard error (exit 2), never a silent pass.
+func TestLoadErrorExitsTwo(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module broken\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "broken.go"),
+		"package broken\n\nfunc f() int { return undefinedIdent }\n")
+	code, _, stderr := runOwvet(t, "-C", dir)
+	if code != 2 {
+		t.Errorf("exit code = %d for a non-type-checking module, want 2 (stderr: %s)",
+			code, stderr)
+	}
+	if stderr == "" {
+		t.Error("load error produced no stderr explanation")
+	}
+}
+
+// TestFindingsExitOne: the fixture module is full of deliberate violations.
+func TestFindingsExitOne(t *testing.T) {
+	code, stdout, _ := runOwvet(t, "-C", fixtureModule)
+	if code != 1 {
+		t.Fatalf("exit code = %d on the fixture module, want 1", code)
+	}
+	if !strings.Contains(stdout, "[deadtaint]") {
+		t.Errorf("fixture run did not report deadtaint findings:\n%s", stdout)
+	}
+}
+
+// TestBaselineGatesOnlyNewFindings drives the full CI workflow: write a
+// baseline, re-run against it (exit 0, findings marked), then prove a
+// stricter baseline still fails.
+func TestBaselineGatesOnlyNewFindings(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "owvet.baseline.json")
+
+	code, _, stderr := runOwvet(t, "-C", fixtureModule, "-write-baseline", basePath)
+	if code != 0 {
+		t.Fatalf("write-baseline exit = %d, want 0 (stderr: %s)", code, stderr)
+	}
+
+	code, stdout, _ := runOwvet(t, "-C", fixtureModule, "-baseline", basePath)
+	if code != 0 {
+		t.Errorf("run against own baseline exit = %d, want 0", code)
+	}
+	if !strings.Contains(stdout, "(baseline)") {
+		t.Error("grandfathered findings not marked in text output")
+	}
+
+	// Remove one entry from the baseline: exactly that finding is new again.
+	data, err := os.ReadFile(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Version     int               `json:"version"`
+		Count       int               `json:"count"`
+		Diagnostics []json.RawMessage `json:"diagnostics"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Diagnostics) < 2 {
+		t.Fatalf("fixture baseline has %d findings, want >= 2", len(rep.Diagnostics))
+	}
+	rep.Diagnostics = rep.Diagnostics[1:]
+	rep.Count = len(rep.Diagnostics)
+	trimmed, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, basePath, string(trimmed))
+	code, _, _ = runOwvet(t, "-C", fixtureModule, "-baseline", basePath)
+	if code != 1 {
+		t.Errorf("run with a trimmed baseline exit = %d, want 1 (one new finding)", code)
+	}
+}
+
+// TestSARIFFile: -sarif writes a parsable 2.1.0 log with one result per
+// diagnostic, independent of baseline gating.
+func TestSARIFFile(t *testing.T) {
+	dir := t.TempDir()
+	sarifPath := filepath.Join(dir, "owvet.sarif")
+	code, _, _ := runOwvet(t, "-C", fixtureModule, "-sarif", sarifPath)
+	if code != 1 {
+		t.Fatalf("fixture run exit = %d, want 1", code)
+	}
+	data, err := os.ReadFile(sarifPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Results []struct {
+				RuleID string `json:"ruleId"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("SARIF file does not parse: %v", err)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("SARIF version = %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 || len(log.Runs[0].Results) == 0 {
+		t.Errorf("SARIF log missing results: %s", data)
+	}
+}
+
+// TestListAndUsage: -list succeeds, unknown flags are usage errors.
+func TestListAndUsage(t *testing.T) {
+	code, stdout, _ := runOwvet(t, "-list")
+	if code != 0 {
+		t.Errorf("-list exit = %d, want 0", code)
+	}
+	for _, name := range []string{"deadtaint", "costaccount", "sealedacct"} {
+		if !strings.Contains(stdout, name) {
+			t.Errorf("-list omits %s:\n%s", name, stdout)
+		}
+	}
+	if code, _, _ := runOwvet(t, "-no-such-flag"); code != 2 {
+		t.Errorf("unknown flag exit = %d, want 2", code)
+	}
+	if code, _, _ := runOwvet(t, "-C", fixtureModule, "-enable", "nosuch"); code != 2 {
+		t.Errorf("unknown analyzer exit = %d, want 2", code)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

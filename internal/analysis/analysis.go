@@ -10,13 +10,21 @@
 //     multi-way selects and ordered map iteration are banned from the
 //     campaign-affecting packages;
 //   - gopanic: the simulator models kernel panics as values; a literal Go
-//     panic would tear the whole process down instead of exercising the
-//     microreboot;
+//     panic, log.Fatal or os.Exit would tear the whole process down instead
+//     of exercising the microreboot;
 //   - errdrop: errors from the memory/layout/disk substrate are never
 //     silently discarded — modeled corruption must surface as a detected
 //     failure, not a wrong result;
 //   - lockdiscipline: lock-by-value copies and return-while-locked
-//     patterns in the concurrent packages, beyond what go vet catches.
+//     patterns in the concurrent packages, beyond what go vet catches;
+//   - deadtaint: flow-sensitive provenance tracking — values derived from
+//     dead-kernel reads stay tainted through helpers and returns until a
+//     CRC/range validation, and must not reach kernel installs, indexing
+//     or dereferences unvalidated;
+//   - costaccount: copy/CRC work reachable from the resurrection entry
+//     points must charge the machine clock (sim.CostModel);
+//   - sealedacct: no writes to the published, fingerprinted Table 4
+//     ledger after the seal point or on post-seal (lazy resolve) paths.
 //
 // A diagnostic is suppressed by an `//owvet:allow <analyzer>: <reason>`
 // comment on the flagged line or the line directly above it. The driver is
@@ -75,8 +83,13 @@ func (a *Analyzer) AppliesTo(rel string, override []string) bool {
 	return false
 }
 
-// All lists every analyzer in the suite, in reporting order.
-var All = []*Analyzer{CrossKernel, NoDeterminism, GoPanic, ErrDrop, LockDiscipline}
+// All lists every analyzer in the suite, in reporting order. The last
+// three are flow analyzers: they run on the shared dataflow index
+// (Pass.Flow) the driver builds once per run.
+var All = []*Analyzer{
+	CrossKernel, NoDeterminism, GoPanic, ErrDrop, LockDiscipline,
+	DeadTaint, CostAccount, SealedAcct,
+}
 
 // Lookup resolves an analyzer by name.
 func Lookup(name string) *Analyzer {
@@ -152,6 +165,10 @@ func (a allowSet) allowed(an, file string, line int) bool {
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	// Flow is the module-wide dataflow index (call graph + function
+	// summaries), built once per run when any flow analyzer is selected;
+	// nil otherwise. Read-only: passes may run concurrently.
+	Flow *FlowIndex
 
 	modRoot string
 	allows  allowSet

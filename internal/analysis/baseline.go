@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Baselines grandfather known findings so owvet can gate CI on *new*
+// violations only: a committed baseline file (the -json schema) records the
+// accepted findings; -baseline subtracts them from a run and fails only on
+// what is left. Matching is by (analyzer, file, message) with per-key
+// multiplicity — line and column are deliberately excluded so unrelated
+// edits that shift a grandfathered finding up or down the file do not
+// resurrect it.
+
+// BaselineKey identifies a finding across line-number drift.
+type BaselineKey struct {
+	Analyzer string
+	File     string
+	Message  string
+}
+
+// Baseline is a multiset of grandfathered findings.
+type Baseline map[BaselineKey]int
+
+// keyOf projects a diagnostic onto its drift-stable identity.
+func keyOf(d Diagnostic) BaselineKey {
+	return BaselineKey{Analyzer: d.Analyzer, File: d.File, Message: d.Message}
+}
+
+// NewBaseline builds the multiset of a diagnostic list.
+func NewBaseline(diags []Diagnostic) Baseline {
+	b := make(Baseline, len(diags))
+	for _, d := range diags {
+		b[keyOf(d)]++
+	}
+	return b
+}
+
+// LoadBaseline reads a baseline file written by WriteJSON (or owvet
+// -write-baseline). The version field is checked so a schema bump cannot be
+// silently misread as an empty baseline.
+func LoadBaseline(path string) (Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep jsonReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("baseline %s: %v", path, err)
+	}
+	if rep.Version != JSONVersion {
+		return nil, fmt.Errorf("baseline %s: schema version %d, owvet expects %d",
+			path, rep.Version, JSONVersion)
+	}
+	return NewBaseline(rep.Diagnostics), nil
+}
+
+// DiffBaseline returns the diagnostics not covered by the baseline. For a
+// key with n grandfathered occurrences, the first n diagnostics (in the
+// driver's deterministic sort order) are absorbed and any beyond that are
+// new findings.
+func DiffBaseline(diags []Diagnostic, base Baseline) []Diagnostic {
+	if len(base) == 0 {
+		return diags
+	}
+	remaining := make(Baseline, len(base))
+	for k, n := range base {
+		remaining[k] = n
+	}
+	var fresh []Diagnostic
+	for _, d := range diags {
+		k := keyOf(d)
+		if remaining[k] > 0 {
+			remaining[k]--
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	return fresh
+}

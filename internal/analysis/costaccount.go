@@ -1,0 +1,40 @@
+package analysis
+
+// CostAccount enforces the Table 4/6 accounting discipline on the
+// resurrection paths: any bytes-moving (builtin copy) or CRC operation in a
+// function reachable from internal/resurrect's entry points must be
+// accompanied by a charge to the machine clock — consulting sim.CostModel
+// (CopyCost, SpecValidateCost, ZeroFillCost, ...) or calling
+// sim.Clock.Advance, directly or in a transitive callee. Work that moves or
+// validates bytes without charging is exactly the pre-fix saved-bytes bug
+// class: the modeled interruption silently under-reports what resurrection
+// actually did.
+var CostAccount = &Analyzer{
+	Name: "costaccount",
+	Doc: "copy/CRC work on resurrection paths must charge the machine clock " +
+		"(sim.CostModel / sim.Clock.Advance); unaccounted work skews the modeled interruption",
+	Scope: []string{"internal/resurrect"},
+	Run:   runCostAccount,
+}
+
+func runCostAccount(p *Pass) {
+	fi := p.Flow
+	if fi == nil {
+		return
+	}
+	reach := fi.reachable(fi.entryRoots(p.Pkg))
+	for _, ff := range fi.pkgFuncs(p.Pkg) {
+		if _, ok := reach[ff]; !ok {
+			continue // not on any resurrection path from this package's API
+		}
+		if ff.chargesTrans {
+			continue // the function (or a callee) charges the clock
+		}
+		for _, op := range ff.costOps {
+			p.Reportf(op.pos,
+				"%s on a resurrection path without a machine-clock charge; account the work "+
+					"via sim.CostModel (CopyCost/SpecValidateCost/ZeroFillCost) or sim.Clock.Advance "+
+					"so the modeled interruption stays honest", op.what)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package analysis
+
+// DeadTaint is the flow-sensitive upgrade of crosskernel: every value
+// derived from dead-kernel bytes — reads through the //owvet:reader
+// counting reader, direct phys.Mem accessors, speculated frames — carries a
+// provenance label until it passes a CRC/validation sink (a hash/crc32
+// call, an //owvet:validator function, or the range-check comparison
+// idiom). A labeled value reaching main-kernel state (internal/kernel
+// calls, PTE installs), a slice/array index or bound, or a pointer
+// dereference without validation is a diagnostic. Because labels flow
+// through function summaries, a raw word returned through a helper and
+// dereferenced in the caller — invisible to the syntactic call-site check —
+// is caught at the call site (paper §4's resurrection-critical data
+// checks).
+var DeadTaint = &Analyzer{
+	Name: "deadtaint",
+	Doc: "track dead-kernel-byte provenance through assignments and calls; " +
+		"unvalidated tainted values must not reach kernel installs, indexing or dereferences",
+	Scope: deadTaintScope,
+	Run:   runDeadTaint,
+}
+
+// deadTaintScope is shared with the dataflow index (deadScoped) as a plain
+// variable to avoid an initialization cycle through the Analyzer value.
+var deadTaintScope = []string{"internal/resurrect", "internal/dump"}
+
+func runDeadTaint(p *Pass) {
+	fi := p.Flow
+	if fi == nil {
+		return
+	}
+	for _, ff := range fi.pkgFuncs(p.Pkg) {
+		st := fi.newState(ff)
+		st.run()
+		st.reportPass(p)
+	}
+}

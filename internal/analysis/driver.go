@@ -4,7 +4,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
+	"sync"
+	"time"
 )
 
 // Config selects which analyzers run and (for tests) where.
@@ -16,7 +19,33 @@ type Config struct {
 	// Scopes overrides an analyzer's default package scope with explicit
 	// module-relative path prefixes. Used by tests; nil keeps defaults.
 	Scopes map[string][]string
+	// Workers caps how many packages are analyzed concurrently; 0 means
+	// GOMAXPROCS. Loading and the dataflow-index build stay serial (the
+	// loader shares a FileSet and caches); only analyzer passes fan out.
+	// Diagnostics are collected per package and merged in package order
+	// before the final sort, so output is identical at any width.
+	Workers int
 }
+
+// AnalyzerTiming is one analyzer's accumulated wall time across packages.
+type AnalyzerTiming struct {
+	Name     string
+	Wall     time.Duration
+	Packages int
+}
+
+// RunStats reports where a run spent its time (the -timing flag).
+type RunStats struct {
+	Load      time.Duration // module discovery, parsing, type-checking
+	Flow      time.Duration // call graph + function summaries (flow analyzers)
+	Total     time.Duration
+	Workers   int
+	Packages  int
+	Analyzers []AnalyzerTiming // suite order, selected analyzers only
+}
+
+// flowAnalyzers need the shared dataflow index.
+var flowAnalyzers = map[string]bool{"deadtaint": true, "costaccount": true, "sealedacct": true}
 
 // selected resolves the configured analyzer set, in suite order.
 func (c Config) selected() ([]*Analyzer, error) {
@@ -51,34 +80,97 @@ func (c Config) selected() ([]*Analyzer, error) {
 // configured analyzers, returning diagnostics sorted by file, line, column
 // and analyzer name.
 func Run(root string, cfg Config) ([]Diagnostic, error) {
+	diags, _, err := RunWithStats(root, cfg)
+	return diags, err
+}
+
+// RunWithStats is Run plus per-phase and per-analyzer wall-time stats.
+func RunWithStats(root string, cfg Config) ([]Diagnostic, *RunStats, error) {
+	start := time.Now()
 	analyzers, err := cfg.selected()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	mod, err := DiscoverModule(root)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	loader := NewLoader(mod)
 	pkgs, err := loader.LoadAll()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		allows := collectAllows(pkg)
-		for _, a := range analyzers {
-			if !a.AppliesTo(pkg.Rel, cfg.Scopes[a.Name]) {
-				continue
-			}
-			a.Run(&Pass{
-				Analyzer: a,
-				Pkg:      pkg,
-				modRoot:  mod.Root,
-				allows:   allows,
-				diags:    &diags,
-			})
+	stats := &RunStats{Load: time.Since(start), Packages: len(pkgs)}
+
+	var flow *FlowIndex
+	for _, a := range analyzers {
+		if flowAnalyzers[a.Name] {
+			flowStart := time.Now()
+			flow = buildFlowIndex(mod, pkgs)
+			stats.Flow = time.Since(flowStart)
+			break
 		}
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pkgs) {
+		workers = len(pkgs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	stats.Workers = workers
+
+	timing := make(map[string]*AnalyzerTiming, len(analyzers))
+	for _, a := range analyzers {
+		timing[a.Name] = &AnalyzerTiming{Name: a.Name}
+	}
+	perPkg := make([][]Diagnostic, len(pkgs))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				pkg := pkgs[i]
+				allows := collectAllows(pkg)
+				for _, a := range analyzers {
+					if !a.AppliesTo(pkg.Rel, cfg.Scopes[a.Name]) {
+						continue
+					}
+					passStart := time.Now()
+					a.Run(&Pass{
+						Analyzer: a,
+						Pkg:      pkg,
+						Flow:     flow,
+						modRoot:  mod.Root,
+						allows:   allows,
+						diags:    &perPkg[i],
+					})
+					elapsed := time.Since(passStart)
+					mu.Lock()
+					at := timing[a.Name]
+					at.Wall += elapsed
+					at.Packages++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range pkgs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	var diags []Diagnostic
+	for _, d := range perPkg {
+		diags = append(diags, d...)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -93,14 +185,32 @@ func Run(root string, cfg Config) ([]Diagnostic, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags, nil
+	for _, a := range analyzers {
+		stats.Analyzers = append(stats.Analyzers, *timing[a.Name])
+	}
+	stats.Total = time.Since(start)
+	return diags, stats, nil
+}
+
+// WriteTimings renders RunStats as the -timing report.
+func (s *RunStats) WriteTimings(w io.Writer) {
+	fmt.Fprintf(w, "owvet timing: %d package(s), %d worker(s)\n", s.Packages, s.Workers)
+	fmt.Fprintf(w, "  %-16s %12v\n", "load+typecheck", s.Load.Round(time.Microsecond))
+	if s.Flow > 0 {
+		fmt.Fprintf(w, "  %-16s %12v\n", "dataflow index", s.Flow.Round(time.Microsecond))
+	}
+	for _, at := range s.Analyzers {
+		fmt.Fprintf(w, "  %-16s %12v  (%d package(s))\n",
+			at.Name, at.Wall.Round(time.Microsecond), at.Packages)
+	}
+	fmt.Fprintf(w, "  %-16s %12v\n", "total", s.Total.Round(time.Microsecond))
 }
 
 // JSONVersion identifies the machine-readable output schema. Bump only on
 // incompatible changes; tooling keys off it.
 const JSONVersion = 1
 
-// jsonReport is the owvet -json document.
+// jsonReport is the owvet -json document (also the baseline-file schema).
 type jsonReport struct {
 	Version     int          `json:"version"`
 	Count       int          `json:"count"`

@@ -3,20 +3,21 @@ package analysis
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // GoPanic guards the simulator's failure model: kernel crashes are modeled
 // as kernel.PanicEvent values flowing through oopsf/raise so the harness
 // can exercise the microreboot and resurrection paths. A literal Go
-// panic(...) in the kernel-side packages would instead tear down the whole
-// simulator process — turning a modeled crash into a real one and taking
-// the campaign with it. Genuinely-unreachable programmer-error panics
-// (e.g. duplicate init-time registration) are annotated with
-// //owvet:allow gopanic.
+// panic(...), log.Fatal* or os.Exit in the kernel-side packages would
+// instead tear down the whole simulator process — turning a modeled crash
+// into a real one and taking the campaign with it. Genuinely-unreachable
+// programmer-error panics (e.g. duplicate init-time registration) are
+// annotated with //owvet:allow gopanic.
 var GoPanic = &Analyzer{
 	Name: "gopanic",
-	Doc: "forbid literal Go panic() in kernel-side packages; kernel failures " +
-		"are modeled as PanicEvent values, not process teardown",
+	Doc: "forbid literal Go panic(), log.Fatal* and os.Exit in kernel-side packages; " +
+		"kernel failures are modeled as PanicEvent values, not process teardown",
 	Scope: []string{"internal/kernel", "internal/core", "internal/resurrect"},
 	Run:   runGoPanic,
 }
@@ -28,17 +29,35 @@ func runGoPanic(p *Pass) {
 			if !ok {
 				return true
 			}
-			id, ok := unparen(call.Fun).(*ast.Ident)
-			if !ok || id.Name != "panic" {
+			if id, ok := unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				if _, isBuiltin := p.Pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+					p.Reportf(call.Pos(),
+						"literal panic() tears down the simulator process instead of exercising "+
+							"the microreboot; model the failure as a kernel.PanicEvent (oopsf/raise) "+
+							"or return an error")
+				}
 				return true
 			}
-			if _, isBuiltin := p.Pkg.Info.Uses[id].(*types.Builtin); !isBuiltin {
+			// log.Fatal*/os.Exit are process teardown by another name. The
+			// kernel's own Exit (a method) models process exit and is fine.
+			fn := calleeFunc(p.Pkg, call)
+			if fn == nil || fn.Pkg() == nil {
 				return true
 			}
-			p.Reportf(call.Pos(),
-				"literal panic() tears down the simulator process instead of exercising "+
-					"the microreboot; model the failure as a kernel.PanicEvent (oopsf/raise) "+
-					"or return an error")
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true
+			}
+			switch {
+			case fn.Pkg().Path() == "os" && fn.Name() == "Exit":
+				p.Reportf(call.Pos(),
+					"os.Exit tears down the simulator process instead of exercising the "+
+						"microreboot; model the failure as a kernel.PanicEvent or return an error")
+			case fn.Pkg().Path() == "log" && strings.HasPrefix(fn.Name(), "Fatal"):
+				p.Reportf(call.Pos(),
+					"log.%s tears down the simulator process instead of exercising the "+
+						"microreboot; model the failure as a kernel.PanicEvent or return an error",
+					fn.Name())
+			}
 			return true
 		})
 	}

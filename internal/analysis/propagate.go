@@ -1,0 +1,805 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// fnState is the worklist propagator's per-function state: label sets per
+// local object, the validated set (CRC/range-checked objects, which win
+// over taint), accumulated result labels and parameter sinks. The walker
+// evaluates the body in lexical order repeatedly until the maps stop
+// changing (loops carry labels backwards), then — in reporting mode — makes
+// one final pass with diagnostics enabled so fixpoint iterations never
+// duplicate a report.
+type fnState struct {
+	fi  *FlowIndex
+	pkg *Package
+	ff  *flowFunc
+
+	// params holds the parameter objects, receiver first; nil for unnamed
+	// or blank parameters. resultObjs mirrors named results (bare returns).
+	params     []types.Object
+	resultObjs []types.Object
+
+	taints    map[types.Object]taint
+	validated map[types.Object]bool
+	results   []taint
+	sinks     taint
+
+	deadScope bool
+	reporting bool
+	pass      *Pass
+	depth     int // FuncLit nesting: inner returns don't feed the summary
+	changed   bool
+}
+
+// newState prepares a propagator run with every parameter seeded with its
+// own label.
+func (fi *FlowIndex) newState(ff *flowFunc) *fnState {
+	st := &fnState{
+		fi:        fi,
+		pkg:       ff.pkg,
+		ff:        ff,
+		taints:    make(map[types.Object]taint),
+		validated: make(map[types.Object]bool),
+		deadScope: fi.deadScoped(ff.pkg),
+	}
+	if ff.decl.Recv != nil {
+		for _, field := range ff.decl.Recv.List {
+			st.params = append(st.params, fieldObjs(ff.pkg, field)...)
+		}
+	}
+	if ff.decl.Type.Params != nil {
+		for _, field := range ff.decl.Type.Params.List {
+			st.params = append(st.params, fieldObjs(ff.pkg, field)...)
+		}
+	}
+	nres := 0
+	if ff.decl.Type.Results != nil {
+		for _, field := range ff.decl.Type.Results.List {
+			objs := fieldObjs(ff.pkg, field)
+			st.resultObjs = append(st.resultObjs, objs...)
+			nres += len(objs)
+		}
+	}
+	st.results = make([]taint, nres)
+	for i, obj := range st.params {
+		if obj != nil {
+			st.taints[obj] = paramBit(i)
+		}
+	}
+	return st
+}
+
+// fieldObjs expands one field of a parameter/result list to its objects —
+// one nil entry for an unnamed field, one per name otherwise.
+func fieldObjs(pkg *Package, field *ast.Field) []types.Object {
+	if len(field.Names) == 0 {
+		return []types.Object{nil}
+	}
+	out := make([]types.Object, 0, len(field.Names))
+	for _, name := range field.Names {
+		if name.Name == "_" {
+			out = append(out, nil)
+			continue
+		}
+		out = append(out, pkg.Info.Defs[name])
+	}
+	return out
+}
+
+// run iterates the body to a fixpoint. Labels and the validated set only
+// grow (validated wins over taint when both apply), so this terminates; the
+// iteration cap is a backstop for pathological bodies.
+func (st *fnState) run() {
+	if st.ff.decl.Body == nil {
+		return
+	}
+	for iter := 0; iter < 8; iter++ {
+		st.changed = false
+		st.stmt(st.ff.decl.Body)
+		if !st.changed {
+			break
+		}
+	}
+}
+
+// reportPass re-walks the converged body once with diagnostics enabled.
+func (st *fnState) reportPass(p *Pass) {
+	if st.ff.decl.Body == nil {
+		return
+	}
+	st.reporting = true
+	st.pass = p
+	st.stmt(st.ff.decl.Body)
+	st.reporting = false
+	st.pass = nil
+}
+
+func (st *fnState) addTaint(obj types.Object, t taint) {
+	if obj == nil || t == 0 || st.validated[obj] {
+		return
+	}
+	if st.taints[obj]&t != t {
+		st.taints[obj] |= t
+		st.changed = true
+	}
+}
+
+func (st *fnState) markValidated(obj types.Object) {
+	if obj == nil || st.validated[obj] {
+		return
+	}
+	st.validated[obj] = true
+	st.changed = true
+}
+
+func (st *fnState) setResult(i int, t taint) {
+	if i < 0 || i >= len(st.results) || t == 0 {
+		return
+	}
+	if st.results[i]&t != t {
+		st.results[i] |= t
+		st.changed = true
+	}
+}
+
+// sink records a sink hit: parameter labels feed the summary; the dead
+// label becomes a diagnostic in reporting mode.
+func (st *fnState) sink(pos token.Pos, t taint, format string, args ...any) {
+	if p := t &^ taintDead; p != 0 && st.sinks&p != p {
+		st.sinks |= p
+		st.changed = true
+	}
+	if t&taintDead != 0 && st.reporting && st.pass != nil {
+		st.pass.Reportf(pos, format, args...)
+	}
+}
+
+// obj resolves an identifier to its object (definition or use).
+func (st *fnState) obj(id *ast.Ident) types.Object {
+	if obj := st.pkg.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return st.pkg.Info.Uses[id]
+}
+
+// rootObj finds the object a store through an expression lands on: the
+// identifier under any slicing/indexing/address-taking. Selector (field)
+// and dereference targets return nil — those are the propagator's label
+// kill points.
+func (st *fnState) rootObj(e ast.Expr) types.Object {
+	for {
+		switch n := unparen(e).(type) {
+		case *ast.Ident:
+			if n.Name == "_" {
+				return nil
+			}
+			return st.obj(n)
+		case *ast.IndexExpr:
+			e = n.X
+		case *ast.SliceExpr:
+			e = n.X
+		case *ast.UnaryExpr:
+			if n.Op != token.AND {
+				return nil
+			}
+			e = n.X
+		default:
+			return nil
+		}
+	}
+}
+
+func (st *fnState) stmt(s ast.Stmt) {
+	switch n := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		if n == nil {
+			return
+		}
+		for _, x := range n.List {
+			st.stmt(x)
+		}
+	case *ast.ExprStmt:
+		st.expr(n.X)
+	case *ast.AssignStmt:
+		st.assign(n)
+	case *ast.IncDecStmt:
+		st.expr(n.X)
+	case *ast.DeclStmt:
+		gd, ok := n.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			if len(vs.Values) == 1 && len(vs.Names) > 1 {
+				ts := st.tupleTaints(vs.Values[0], len(vs.Names))
+				for i, name := range vs.Names {
+					st.addTaint(st.obj(name), ts[i])
+				}
+				continue
+			}
+			for i, name := range vs.Names {
+				if i < len(vs.Values) {
+					st.addTaint(st.obj(name), st.expr(vs.Values[i]))
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		st.ret(n)
+	case *ast.IfStmt:
+		st.stmt(n.Init)
+		st.expr(n.Cond)
+		st.stmt(n.Body)
+		st.stmt(n.Else)
+	case *ast.ForStmt:
+		st.stmt(n.Init)
+		if n.Cond != nil {
+			st.expr(n.Cond)
+		}
+		st.stmt(n.Post)
+		st.stmt(n.Body)
+	case *ast.RangeStmt:
+		t := st.expr(n.X)
+		for _, v := range []ast.Expr{n.Key, n.Value} {
+			if v == nil {
+				continue
+			}
+			if id, ok := unparen(v).(*ast.Ident); ok {
+				st.addTaint(st.obj(id), t)
+			}
+		}
+		st.stmt(n.Body)
+	case *ast.SwitchStmt:
+		st.stmt(n.Init)
+		if n.Tag != nil {
+			st.expr(n.Tag)
+		}
+		st.stmt(n.Body)
+	case *ast.CaseClause:
+		for _, e := range n.List {
+			st.expr(e)
+		}
+		for _, x := range n.Body {
+			st.stmt(x)
+		}
+	case *ast.TypeSwitchStmt:
+		st.stmt(n.Init)
+		var t taint
+		switch a := n.Assign.(type) {
+		case *ast.AssignStmt:
+			if len(a.Rhs) == 1 {
+				t = st.expr(a.Rhs[0])
+			}
+		case *ast.ExprStmt:
+			t = st.expr(a.X)
+		}
+		for _, c := range n.Body.List {
+			cc, ok := c.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			if obj := st.pkg.Info.Implicits[cc]; obj != nil {
+				st.addTaint(obj, t)
+			}
+			for _, x := range cc.Body {
+				st.stmt(x)
+			}
+		}
+	case *ast.SelectStmt:
+		st.stmt(n.Body)
+	case *ast.CommClause:
+		st.stmt(n.Comm)
+		for _, x := range n.Body {
+			st.stmt(x)
+		}
+	case *ast.SendStmt:
+		st.expr(n.Chan)
+		st.expr(n.Value)
+	case *ast.DeferStmt:
+		st.expr(n.Call)
+	case *ast.GoStmt:
+		st.expr(n.Call)
+	case *ast.LabeledStmt:
+		st.stmt(n.Stmt)
+	}
+}
+
+func (st *fnState) assign(n *ast.AssignStmt) {
+	if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+		ts := st.tupleTaints(n.Rhs[0], len(n.Lhs))
+		for i, lhs := range n.Lhs {
+			st.store(lhs, ts[i])
+		}
+		return
+	}
+	for i, lhs := range n.Lhs {
+		if i >= len(n.Rhs) {
+			break
+		}
+		st.store(lhs, st.expr(n.Rhs[i]))
+	}
+}
+
+// store joins a label into an lvalue. Plain identifiers accumulate it;
+// element stores (s[i] = v, s[i:] targets of copy) label the container;
+// stores through struct fields and pointer dereferences kill the label.
+func (st *fnState) store(lhs ast.Expr, t taint) {
+	lhs = unparen(lhs)
+	if id, ok := lhs.(*ast.Ident); ok {
+		if id.Name != "_" {
+			st.addTaint(st.obj(id), t)
+		}
+		return
+	}
+	// A complex lvalue is also a read path: evaluate it so a tainted index
+	// or a dereference of a tainted pointer on the write side still hits
+	// the sink checks.
+	st.expr(lhs)
+	switch l := lhs.(type) {
+	case *ast.IndexExpr:
+		st.addTaint(st.rootObj(l.X), t)
+	case *ast.SliceExpr:
+		st.addTaint(st.rootObj(l.X), t)
+	}
+}
+
+// tupleTaints evaluates a multi-value RHS (call, v-ok form) into n labels.
+func (st *fnState) tupleTaints(rhs ast.Expr, n int) []taint {
+	out := make([]taint, n)
+	if call, ok := unparen(rhs).(*ast.CallExpr); ok {
+		ts := st.call(call)
+		for i := range out {
+			if i < len(ts) {
+				out[i] = ts[i]
+			}
+		}
+		return out
+	}
+	t := st.expr(rhs)
+	for i := range out {
+		out[i] = t
+	}
+	return out
+}
+
+func (st *fnState) ret(n *ast.ReturnStmt) {
+	if st.depth > 0 {
+		for _, e := range n.Results {
+			st.expr(e)
+		}
+		return
+	}
+	if len(n.Results) == 0 {
+		for i, obj := range st.resultObjs {
+			if obj != nil && !st.validated[obj] {
+				st.setResult(i, st.taints[obj])
+			}
+		}
+		return
+	}
+	if len(n.Results) == 1 && len(st.results) > 1 {
+		for i, t := range st.tupleTaints(n.Results[0], len(st.results)) {
+			st.setResult(i, t)
+		}
+		return
+	}
+	for i, e := range n.Results {
+		st.setResult(i, st.expr(e))
+	}
+}
+
+// expr evaluates an expression to its label set, performing sink checks and
+// validation marking along the way.
+func (st *fnState) expr(e ast.Expr) taint {
+	if e == nil {
+		return 0
+	}
+	e = unparen(e)
+	if tv, ok := st.pkg.Info.Types[e]; ok && tv.IsType() {
+		return 0
+	}
+	switch n := e.(type) {
+	case *ast.Ident:
+		obj := st.obj(n)
+		if obj == nil || st.validated[obj] {
+			return 0
+		}
+		return st.taints[obj]
+	case *ast.BasicLit:
+		return 0
+	case *ast.FuncLit:
+		st.depth++
+		st.stmt(n.Body)
+		st.depth--
+		return 0
+	case *ast.CompositeLit:
+		// Field/element stores are label kill points: evaluate the elements
+		// (their own sinks still count) but the literal comes out clean.
+		for _, el := range n.Elts {
+			st.expr(el)
+		}
+		return 0
+	case *ast.KeyValueExpr:
+		return st.expr(n.Value)
+	case *ast.SelectorExpr:
+		// Reading a field or method of a wholly-labeled value propagates
+		// the label; package-qualified selectors evaluate to 0.
+		return st.expr(n.X)
+	case *ast.IndexExpr:
+		tb := st.expr(n.X)
+		ti := st.expr(n.Index)
+		st.sinkIndex(n, ti)
+		return tb | ti
+	case *ast.IndexListExpr:
+		return st.expr(n.X)
+	case *ast.SliceExpr:
+		t := st.expr(n.X)
+		for _, b := range []ast.Expr{n.Low, n.High, n.Max} {
+			if b == nil {
+				continue
+			}
+			tb := st.expr(b)
+			if tb != 0 {
+				st.sink(b.Pos(), tb,
+					"value derived from dead-kernel bytes used as a slice bound without "+
+						"CRC/range validation; check it first (resurrection-critical data check)")
+			}
+			t |= tb
+		}
+		return t
+	case *ast.StarExpr:
+		tp := st.expr(n.X)
+		if tp != 0 {
+			st.sink(n.Pos(), tp,
+				"dereference of a dead-kernel-derived pointer without CRC/range validation; "+
+					"validate before following pointers parsed from dead memory")
+		}
+		return tp
+	case *ast.UnaryExpr:
+		return st.expr(n.X)
+	case *ast.BinaryExpr:
+		tx := st.expr(n.X)
+		ty := st.expr(n.Y)
+		switch n.Op {
+		case token.EQL, token.NEQ, token.LSS, token.GTR, token.LEQ, token.GEQ:
+			// Comparing a labeled value against anything is the range-check
+			// idiom (frame >= numFrames, crc != want): the compared object
+			// counts as validated from here on.
+			st.validateOperand(n.X)
+			st.validateOperand(n.Y)
+			return 0
+		case token.LAND, token.LOR:
+			return 0
+		}
+		return tx | ty
+	case *ast.CallExpr:
+		var t taint
+		for _, r := range st.call(n) {
+			t |= r
+		}
+		return t
+	case *ast.TypeAssertExpr:
+		return st.expr(n.X)
+	}
+	return 0
+}
+
+// validateOperand marks the object under a comparison operand (identifier,
+// possibly converted or parenthesised) as validated.
+func (st *fnState) validateOperand(e ast.Expr) {
+	for {
+		e = unparen(e)
+		if call, ok := e.(*ast.CallExpr); ok && len(call.Args) == 1 {
+			if tv, ok := st.pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+				e = call.Args[0] // uint64(x) > max validates x
+				continue
+			}
+		}
+		break
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		st.markValidated(st.obj(id))
+	}
+}
+
+// sinkIndex flags indexing a bounds-sensitive container (slice, array,
+// string — not a map) by a labeled value.
+func (st *fnState) sinkIndex(n *ast.IndexExpr, ti taint) {
+	if ti == 0 {
+		return
+	}
+	tv, ok := st.pkg.Info.Types[n.X]
+	if !ok {
+		return
+	}
+	switch u := tv.Type.Underlying().(type) {
+	case *types.Slice, *types.Array:
+	case *types.Pointer:
+		if _, ok := u.Elem().Underlying().(*types.Array); !ok {
+			return
+		}
+	case *types.Basic:
+		if u.Info()&types.IsString == 0 {
+			return
+		}
+	default:
+		return
+	}
+	st.sink(n.Index.Pos(), ti,
+		"value derived from dead-kernel bytes used as a slice/array index without "+
+			"CRC/range validation; check it first (resurrection-critical data check)")
+}
+
+// call evaluates a call expression to its per-result labels.
+func (st *fnState) call(n *ast.CallExpr) []taint {
+	// Type conversion: the label passes through.
+	if tv, ok := st.pkg.Info.Types[n.Fun]; ok && tv.IsType() {
+		var t taint
+		for _, a := range n.Args {
+			t |= st.expr(a)
+		}
+		return []taint{t}
+	}
+	// Builtins.
+	if id, ok := unparen(n.Fun).(*ast.Ident); ok {
+		if b, ok := st.pkg.Info.Uses[id].(*types.Builtin); ok {
+			return st.builtin(b.Name(), n)
+		}
+	}
+	fn := calleeFunc(st.pkg, n)
+	nres := st.callResults(n)
+
+	// Receiver label for method calls; function-value label for indirect
+	// calls (a smuggled method value carries its provenance).
+	var argT []taint
+	hasRecv := false
+	if sel, ok := unparen(n.Fun).(*ast.SelectorExpr); ok {
+		if st.pkg.Info.Selections[sel] != nil {
+			hasRecv = true
+			argT = append(argT, st.expr(sel.X))
+		}
+	} else if fn == nil {
+		// Indirect call: the function value's own label joins the union as
+		// a pseudo-argument (only the unknown-callee fallback reads argT
+		// positionally-blind, so this never skews parameter mapping).
+		if t := st.expr(n.Fun); t != 0 {
+			argT = append(argT, t)
+		}
+	}
+	for _, a := range n.Args {
+		argT = append(argT, st.expr(a))
+	}
+
+	// Validation sinks cleanse their (identifier) arguments.
+	if st.fi.isValidatorCall(fn) {
+		for _, a := range n.Args {
+			st.validateOperand(a)
+		}
+		return make([]taint, maxInt(nres, 1))
+	}
+
+	// Dead-kernel sources: the counting reader and phys.Mem accessors,
+	// inside the crash-kernel packages.
+	if st.deadScope && st.fi.isDeadSource(fn) {
+		return st.sourceCall(fn, n, nres)
+	}
+
+	// Installing into main-kernel state is a sink regardless of what the
+	// callee does afterwards.
+	if fn != nil && fn.Pkg() != nil && pkgPathIs(fn.Pkg().Path(), "internal/kernel") {
+		var t taint
+		for _, x := range argT {
+			t |= x
+		}
+		if t != 0 {
+			st.sink(n.Pos(), t,
+				"unvalidated dead-kernel bytes flow into main-kernel state via %s; "+
+					"CRC/range-validate before installing (resurrection-critical data check)",
+				fn.Name())
+		}
+	}
+
+	// Module callee with a cached summary: substitute argument labels for
+	// parameter labels, apply out-effects and parameter sinks.
+	if fn != nil {
+		if sum := st.fi.summaryOf(fn); sum != nil {
+			return st.summaryCall(fn, sum, n, argT, hasRecv, nres)
+		}
+	}
+
+	// Unknown callee (stdlib, interface, indirect): every result inherits
+	// the union of operand labels.
+	var t taint
+	for _, x := range argT {
+		t |= x
+	}
+	out := make([]taint, maxInt(nres, 1))
+	for i := range out {
+		out[i] = t
+	}
+	return out
+}
+
+// sourceCall applies the dead-kernel source rule: byte-slice arguments are
+// out-buffers filled with dead bytes; non-error results (except the
+// reader's own chaining type) are dead-derived.
+func (st *fnState) sourceCall(fn *types.Func, n *ast.CallExpr, nres int) []taint {
+	for _, a := range n.Args {
+		if !st.isByteSlice(a) {
+			continue
+		}
+		if obj := st.rootObj(a); obj != nil && !st.validated[obj] {
+			st.addTaint(obj, taintDead)
+		}
+	}
+	sig := fn.Type().(*types.Signature)
+	out := make([]taint, maxInt(nres, 1))
+	for i := 0; i < sig.Results().Len() && i < len(out); i++ {
+		rt := sig.Results().At(i).Type()
+		if isErrorType(rt) {
+			continue
+		}
+		// A method returning the reader itself (at(cat) chaining) hands
+		// back the accessor, not dead bytes.
+		if rn, recvN := namedTypeName(rt), namedTypeName(sig.Recv().Type()); rn != nil && rn == recvN {
+			continue
+		}
+		out[i] = taintDead
+	}
+	return out
+}
+
+// summaryCall applies a module callee's summary at a call site.
+func (st *fnState) summaryCall(fn *types.Func, sum *FuncSummary, n *ast.CallExpr, argT []taint, hasRecv bool, nres int) []taint {
+	sig := fn.Type().(*types.Signature)
+	np := sig.Params().Len()
+	if sig.Recv() != nil {
+		np++
+	}
+	argLabel := func(i int) taint {
+		if i < len(argT) {
+			t := argT[i]
+			// Variadic final parameter absorbs all remaining arguments.
+			if sig.Variadic() && i == np-1 {
+				for j := i + 1; j < len(argT); j++ {
+					t |= argT[j]
+				}
+			}
+			return t
+		}
+		return 0
+	}
+	subst := func(t taint) taint {
+		out := t & taintDead
+		for i := 0; i < np; i++ {
+			if t&paramBit(i) != 0 {
+				out |= argLabel(i)
+			}
+		}
+		return out
+	}
+	argExpr := func(i int) ast.Expr {
+		if hasRecv {
+			if i == 0 {
+				if sel, ok := unparen(n.Fun).(*ast.SelectorExpr); ok {
+					return sel.X
+				}
+				return nil
+			}
+			i--
+		}
+		if i < len(n.Args) {
+			return n.Args[i]
+		}
+		return nil
+	}
+	for i := 0; i < np && i < len(sum.ParamOut); i++ {
+		if sum.ParamOut[i] == 0 {
+			continue
+		}
+		if ae := argExpr(i); ae != nil {
+			if obj := st.rootObj(ae); obj != nil {
+				st.addTaint(obj, subst(sum.ParamOut[i]))
+			}
+		}
+	}
+	for i := 0; i < np; i++ {
+		if sum.Sinks&paramBit(i) == 0 {
+			continue
+		}
+		t := argLabel(i)
+		if t == 0 {
+			continue
+		}
+		pos := n.Pos()
+		if ae := argExpr(i); ae != nil {
+			pos = ae.Pos()
+		}
+		st.sink(pos, t,
+			"dead-kernel-derived value passed to %s, which indexes or dereferences "+
+				"by it without validation; CRC/range-validate before the call", fn.Name())
+	}
+	out := make([]taint, maxInt(nres, 1))
+	for i := range out {
+		if i < len(sum.Results) {
+			out[i] = subst(sum.Results[i])
+		}
+	}
+	return out
+}
+
+// builtin models the builtins that move labels: copy and append transfer
+// the source label into the destination container.
+func (st *fnState) builtin(name string, n *ast.CallExpr) []taint {
+	switch name {
+	case "copy":
+		if len(n.Args) == 2 {
+			td := st.expr(n.Args[0])
+			ts := st.expr(n.Args[1])
+			if obj := st.rootObj(n.Args[0]); obj != nil {
+				st.addTaint(obj, ts)
+			}
+			return []taint{td | ts}
+		}
+	case "append":
+		var t taint
+		for _, a := range n.Args {
+			t |= st.expr(a)
+		}
+		if len(n.Args) > 0 {
+			if obj := st.rootObj(n.Args[0]); obj != nil {
+				st.addTaint(obj, t)
+			}
+		}
+		return []taint{t}
+	default:
+		// len/cap of a labeled container are lengths of live Go values, not
+		// dead-kernel data; make/new produce fresh values. Evaluate the
+		// arguments for their side effects and return clean.
+		for _, a := range n.Args {
+			st.expr(a)
+		}
+	}
+	return []taint{0}
+}
+
+// callResults counts a call's results from its type.
+func (st *fnState) callResults(n *ast.CallExpr) int {
+	tv, ok := st.pkg.Info.Types[n]
+	if !ok || tv.Type == nil {
+		return 1
+	}
+	if tuple, ok := tv.Type.(*types.Tuple); ok {
+		return tuple.Len()
+	}
+	return 1
+}
+
+// isByteSlice reports whether an expression has type []byte.
+func (st *fnState) isByteSlice(e ast.Expr) bool {
+	tv, ok := st.pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	sl, ok := tv.Type.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// SARIF output: the minimal, stable subset of SARIF 2.1.0 that code-scanning
+// UIs consume — one run, one tool driver with a rule per analyzer, one
+// result per diagnostic with a physical location. Field order is fixed by
+// the struct definitions so the document is byte-stable for golden tests.
+
+// SARIFVersion is the SARIF spec version owvet emits.
+const SARIFVersion = "2.1.0"
+
+const sarifSchemaURI = "https://json.schemastore.org/sarif-2.1.0.json"
+
+type sarifLog struct {
+	Version string     `json:"version"`
+	Schema  string     `json:"$schema"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// WriteSARIF renders diagnostics as a SARIF 2.1.0 log. Every analyzer in
+// the suite appears as a rule (so suppressed-to-zero runs still describe the
+// checks that ran); diagnostics keep their driver sort order.
+func WriteSARIF(w io.Writer, diags []Diagnostic) error {
+	rules := make([]sarifRule, 0, len(All))
+	for _, a := range All {
+		rules = append(rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifText{Text: a.Doc},
+		})
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: sarifText{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: d.File},
+					Region:           sarifRegion{StartLine: d.Line, StartColumn: d.Col},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Version: SARIFVersion,
+		Schema:  sarifSchemaURI,
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: sarifDriver{Name: "owvet", Rules: rules}}, Results: results}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

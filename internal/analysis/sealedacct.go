@@ -1,0 +1,245 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// SealedAcct guards the publish/seal point of the Table 4 ledger: once
+// Engine.publish (marked //owvet:seal) has run, the //owvet:sealed
+// accounting fields (Engine.acct, Report.Acct) are part of the published,
+// width-invariant fingerprint — a later write would silently break
+// bit-identical results at any worker width. Two rules:
+//
+//   - within a function, no statement on a path after a call to a
+//     seal-marked function may write a sealed field (directly, via a
+//     pointer-receiver method on it, or by calling a function that
+//     transitively does). The walk is path-aware: a seal call inside a
+//     branch that ends in return (the early-exit publish) does not seal
+//     the code after the branch;
+//   - nothing reachable from an //owvet:postseal entry point (the lazy
+//     resolve/sweep paths that run after publish) may write a sealed field
+//     — post-resume work must use a private shard.
+//
+// Matching is by field-object identity, so same-named ledgers elsewhere
+// (the counting reader's private Accounting, lazyState's shard) are
+// untouched.
+var SealedAcct = &Analyzer{
+	Name: "sealedacct",
+	Doc: "no writes to //owvet:sealed accounting fields after the //owvet:seal " +
+		"publish point or on //owvet:postseal paths; the published ledger is fingerprinted",
+	Scope: []string{"internal/resurrect"},
+	Run:   runSealedAcct,
+}
+
+func runSealedAcct(p *Pass) {
+	fi := p.Flow
+	if fi == nil {
+		return
+	}
+	// Rule 1: same-function writes on a path after the seal call.
+	for _, ff := range fi.pkgFuncs(p.Pkg) {
+		if ff.decl.Body == nil {
+			continue
+		}
+		w := &sealWalker{fi: fi, p: p, ff: ff}
+		w.list(ff.decl.Body.List, false)
+	}
+	// Rule 2: writes anywhere on a post-seal path.
+	var roots []*flowFunc
+	for _, ff := range fi.pkgFuncs(p.Pkg) {
+		if fi.postSeals[ff.fn] {
+			roots = append(roots, ff)
+		}
+	}
+	if len(roots) == 0 {
+		return
+	}
+	reach := fi.reachable(roots)
+	for _, ff := range fi.pkgFuncs(p.Pkg) {
+		root, ok := reach[ff]
+		if !ok {
+			continue
+		}
+		for _, w := range ff.sealedWrites {
+			p.Reportf(w.pos,
+				"sealed accounting field %s written on a post-seal path (reachable from %s); "+
+					"post-resume work must account into a private shard, not the published ledger",
+				w.field, root.decl.Name.Name)
+		}
+	}
+}
+
+// sealWalker tracks, along each statement list, whether a seal call may have
+// already executed, and flags sealed writes downstream of one.
+type sealWalker struct {
+	fi *FlowIndex
+	p  *Pass
+	ff *flowFunc
+}
+
+// list walks a statement list with the incoming sealed state and returns the
+// outgoing one.
+func (w *sealWalker) list(stmts []ast.Stmt, sealed bool) bool {
+	for _, s := range stmts {
+		sealed = w.stmt(s, sealed)
+	}
+	return sealed
+}
+
+// terminates reports whether a statement list cannot fall through to the
+// statement after its enclosing branch (it ends in a return).
+func terminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	_, ok := stmts[len(stmts)-1].(*ast.ReturnStmt)
+	return ok
+}
+
+// stmt processes one statement: if a seal may already have run, everything
+// inside is flagged; otherwise branches are walked separately and a seal
+// escapes a branch only if that branch can fall through.
+func (w *sealWalker) stmt(s ast.Stmt, sealed bool) bool {
+	if s == nil {
+		return sealed
+	}
+	if sealed {
+		w.flag(s)
+		return true
+	}
+	switch n := s.(type) {
+	case *ast.BlockStmt:
+		return w.list(n.List, false)
+	case *ast.LabeledStmt:
+		return w.stmt(n.Stmt, false)
+	case *ast.IfStmt:
+		pre := w.stmt(n.Init, false)
+		if n.Cond != nil && w.callsSeal(n.Cond) {
+			pre = true
+		}
+		if pre {
+			w.flag(n.Body)
+			if n.Else != nil {
+				w.flag(n.Else)
+			}
+			return true
+		}
+		out := false
+		if w.list(n.Body.List, false) && !terminates(n.Body.List) {
+			out = true
+		}
+		if n.Else != nil {
+			elseSealed := w.stmt(n.Else, false)
+			elseTerm := false
+			if blk, ok := n.Else.(*ast.BlockStmt); ok {
+				elseTerm = terminates(blk.List)
+			}
+			if elseSealed && !elseTerm {
+				out = true
+			}
+		}
+		return out
+	case *ast.ForStmt:
+		pre := w.stmt(n.Init, false)
+		if n.Cond != nil && w.callsSeal(n.Cond) {
+			pre = true
+		}
+		pre = w.stmt(n.Post, pre)
+		if pre {
+			w.flag(n.Body)
+			return true
+		}
+		return w.list(n.Body.List, false) && !terminates(n.Body.List)
+	case *ast.RangeStmt:
+		if w.callsSeal(n.X) {
+			w.flag(n.Body)
+			return true
+		}
+		return w.list(n.Body.List, false) && !terminates(n.Body.List)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		out := false
+		body := switchBody(s)
+		for _, c := range body.List {
+			var cb []ast.Stmt
+			switch cc := c.(type) {
+			case *ast.CaseClause:
+				cb = cc.Body
+			case *ast.CommClause:
+				cb = cc.Body
+			}
+			if w.list(cb, false) && !terminates(cb) {
+				out = true
+			}
+		}
+		return out
+	case *ast.DeferStmt, *ast.GoStmt:
+		// A deferred/asynchronous seal does not order the rest of the body.
+		return false
+	default:
+		// Simple statement: it seals the continuation if it calls a
+		// seal-marked function anywhere inside.
+		return w.callsSeal(s)
+	}
+}
+
+// switchBody extracts the clause list of a switch/select statement.
+func switchBody(s ast.Stmt) *ast.BlockStmt {
+	switch n := s.(type) {
+	case *ast.SwitchStmt:
+		return n.Body
+	case *ast.TypeSwitchStmt:
+		return n.Body
+	case *ast.SelectStmt:
+		return n.Body
+	}
+	return &ast.BlockStmt{}
+}
+
+// callsSeal reports whether the subtree contains a call to a seal-marked
+// function.
+func (w *sealWalker) callsSeal(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeFunc(w.ff.pkg, call); fn != nil && w.fi.seals[fn] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// flag reports every sealed write inside a subtree known to run after the
+// seal: the direct/method writes scanBody recorded, plus calls to functions
+// that transitively write a sealed field.
+func (w *sealWalker) flag(n ast.Node) {
+	for _, sw := range w.ff.sealedWrites {
+		if sw.pos >= n.Pos() && sw.pos < n.End() {
+			w.p.Reportf(sw.pos,
+				"sealed accounting field %s written after the seal point; the published "+
+					"Table 4 ledger is fingerprinted and must stay bit-identical", sw.field)
+		}
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(w.ff.pkg, call)
+		cf := w.fi.funcByObj(fn)
+		if cf != nil && cf.writesSealedTrans {
+			w.p.Reportf(call.Pos(),
+				"%s writes sealed accounting and is called after the seal point; the "+
+					"published Table 4 ledger is fingerprinted and must stay bit-identical",
+				fn.Name())
+		}
+		return true
+	})
+}

@@ -1,8 +1,23 @@
-// Package kernel exercises the gopanic analyzer: kernel failures are
-// modeled values, never literal Go panics.
+// Package kernel exercises the gopanic analyzer — kernel failures are
+// modeled values, never literal Go panics, log.Fatal* or os.Exit — and
+// provides InstallPage as the main-kernel-state sink the deadtaint fixtures
+// target.
 package kernel
 
-import "fmt"
+import (
+	"fmt"
+	"log"
+	"os"
+)
+
+// InstallPage maps a resurrected page into main-kernel state. Deadtaint
+// treats any call into this package as an install sink.
+func InstallPage(frame int, data []byte) error {
+	if frame < 0 || len(data) == 0 {
+		return fmt.Errorf("kernel: bad page install (frame %d, %d bytes)", frame, len(data))
+	}
+	return nil
+}
 
 var registry = map[string]bool{}
 
@@ -27,4 +42,22 @@ func modeledFailure(frame, max int) error {
 		return fmt.Errorf("kernel: frame %d beyond %d", frame, max)
 	}
 	return nil
+}
+
+// fatalTeardown kills the whole simulator process on a modeled failure.
+func fatalTeardown(err error) {
+	if err != nil {
+		log.Fatalf("kernel: %v", err) // want `log\.Fatalf tears down the simulator process`
+	}
+}
+
+// exitTeardown does the same through os.Exit.
+func exitTeardown(code int) {
+	os.Exit(code) // want `os\.Exit tears down the simulator process`
+}
+
+// allowedExit is the harness's sanctioned way out, after the campaign.
+func allowedExit() {
+	//owvet:allow gopanic: harness shutdown helper, runs only after the campaign has completed
+	os.Exit(0)
 }

@@ -1,0 +1,65 @@
+// Costaccount fixtures: bytes-moving and CRC work reachable from the
+// package's entry points must charge the machine clock, directly or through
+// a callee; unreachable helpers and charged paths stay quiet.
+package resurrect
+
+import (
+	"hash/crc32"
+
+	"fixture/internal/sim"
+)
+
+// machine couples the virtual clock and cost model as the real engine does.
+type machine struct {
+	clock *sim.Clock
+	cost  sim.CostModel
+}
+
+// InstallAll is the exported resurrection entry point reachability roots at.
+func InstallAll(m *machine, dst, src []byte, sum uint32) {
+	chargedCopy(m, dst, src)
+	viaHelper(m, dst, src)
+	unchargedCopy(dst, src)
+	checksumUncharged(src, sum)
+	scratchCopy(dst, src)
+}
+
+// chargedCopy moves bytes and charges the clock for them: clean.
+func chargedCopy(m *machine, dst, src []byte) {
+	n := copy(dst, src)
+	m.clock.Advance(m.cost.CopyCost(int64(n)))
+}
+
+// viaHelper moves bytes and delegates the charge to a callee: clean.
+func viaHelper(m *machine, dst, src []byte) {
+	copy(dst, src)
+	charge(m, len(src))
+}
+
+func charge(m *machine, n int) {
+	m.clock.Advance(m.cost.CopyCost(int64(n)))
+}
+
+// unchargedCopy moves bytes with no charge anywhere on the path — exactly
+// the saved-bytes under-reporting bug class.
+func unchargedCopy(dst, src []byte) {
+	copy(dst, src) // want `builtin copy \(byte movement\) on a resurrection path without a machine-clock charge`
+}
+
+// checksumUncharged validates a page without pricing the CRC.
+func checksumUncharged(src []byte, sum uint32) bool {
+	return crc32.ChecksumIEEE(src) == sum // want `crc32\.ChecksumIEEE \(CRC validation\) on a resurrection path without a machine-clock charge`
+}
+
+// scratchCopy is priced at zero on purpose — setup work outside the modeled
+// interruption window.
+func scratchCopy(dst, src []byte) {
+	//owvet:allow costaccount: scratch staging before the outage clock starts, not modeled work
+	copy(dst, src)
+}
+
+// orphanCopy is unreachable from any entry point: reachability gating keeps
+// it quiet even though nothing charges.
+func orphanCopy(dst, src []byte) {
+	copy(dst, src)
+}

@@ -1,0 +1,86 @@
+// Deadtaint fixtures: provenance labels survive helper returns, so the
+// smuggling patterns the syntactic crosskernel rule cannot see — a raw
+// dead-kernel word returned through a function and then used as an index, a
+// bound, a pointer, or installed into main-kernel state — are caught at the
+// point of use. Validation (a crc32 call or the range-check comparison
+// idiom) cleanses the label.
+package resurrect
+
+import (
+	"errors"
+	"hash/crc32"
+
+	"fixture/internal/kernel"
+	"fixture/internal/phys"
+)
+
+// headWord returns the first word of a dead-kernel region through the
+// counting reader. No phys.Mem selector appears at any call site below, so
+// crosskernel is structurally blind to everything in this file.
+func headWord(r *reader, base uint64) uint64 {
+	w, _ := r.word(base)
+	return w
+}
+
+// smuggledIndex uses the helper-returned raw word as an index with no
+// validation — the interprocedural smuggle.
+func smuggledIndex(r *reader, table []uint64) uint64 {
+	idx := headWord(r, 0)
+	return table[idx] // want `used as a slice/array index without CRC/range validation`
+}
+
+// validatedIndex range-checks the word first: the comparison validates it.
+func validatedIndex(r *reader, table []uint64) uint64 {
+	idx := headWord(r, 0)
+	if idx >= uint64(len(table)) {
+		return 0
+	}
+	return table[idx]
+}
+
+// sliceWindow uses a dead word as a slice bound without checking it.
+func sliceWindow(r *reader, buf []byte) []byte {
+	n, _ := r.word(0)
+	return buf[:n] // want `used as a slice bound without CRC/range validation`
+}
+
+// derefHelper dereferences its argument without validating; the summary
+// records parameter 0 as a sink, so blame lands on unvalidated callers.
+func derefHelper(p *uint64) uint64 {
+	return *p
+}
+
+// smuggledDeref hands a pointer to a dead word to the dereferencing helper.
+func smuggledDeref(r *reader, base uint64) uint64 {
+	w, _ := r.word(base)
+	p := &w
+	return derefHelper(p) // want `dead-kernel-derived value passed to derefHelper`
+}
+
+// installRaw pushes dead bytes straight into main-kernel state.
+func installRaw(r *reader, frame int) error {
+	buf := make([]byte, phys.PageSize)
+	if err := r.ReadAt(uint64(frame)*phys.PageSize, buf); err != nil {
+		return err
+	}
+	return kernel.InstallPage(frame, buf) // want `flow into main-kernel state via InstallPage`
+}
+
+// installValidated CRC-checks the page before installing: clean.
+func installValidated(r *reader, frame int, sum uint32) error {
+	buf := make([]byte, phys.PageSize)
+	if err := r.ReadAt(uint64(frame)*phys.PageSize, buf); err != nil {
+		return err
+	}
+	if crc32.ChecksumIEEE(buf) != sum {
+		return errors.New("resurrect: page checksum mismatch")
+	}
+	return kernel.InstallPage(frame, buf)
+}
+
+// allowedUse documents a deliberate exception to the index rule.
+func allowedUse(r *reader, table []uint64) uint64 {
+	idx := headWord(r, 0)
+	//owvet:allow deadtaint: index is a power-of-two tag masked on write, cannot exceed len(table)
+	return table[idx]
+}

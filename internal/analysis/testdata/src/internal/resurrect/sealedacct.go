@@ -1,0 +1,83 @@
+// Sealedacct fixtures: once the //owvet:seal publish call has run, the
+// //owvet:sealed ledger is part of the published fingerprint — later writes
+// (direct, via a mutating method on the field, or by calling a function
+// that transitively writes it) and any write on an //owvet:postseal path
+// are diagnostics. Private shards with the same shape stay writable.
+package resurrect
+
+// Ledger is the accounting block shape shared by the published ledger and
+// the private post-seal shards.
+type Ledger struct {
+	Bytes int64
+	Pages int64
+}
+
+// bump mutates a ledger through a pointer receiver.
+func (l *Ledger) bump(n int64) {
+	l.Bytes += n
+	l.Pages++
+}
+
+// engineX owns the published ledger and a private shard.
+type engineX struct {
+	//owvet:sealed
+	acct  Ledger
+	shard Ledger // private post-resume shard, deliberately not sealed
+}
+
+// publish seals the ledger into the report fingerprint.
+//
+//owvet:seal
+func (e *engineX) publish() Ledger {
+	return e.acct
+}
+
+// runPass accounts, publishes, then — wrongly — keeps writing.
+func (e *engineX) runPass(n int64) Ledger {
+	e.acct.Bytes += n // before the seal: fine
+	rep := e.publish()
+	e.acct.Pages++ // want `sealed accounting field acct written after the seal point`
+	e.lateBump(n)  // want `lateBump writes sealed accounting and is called after the seal point`
+	return rep
+}
+
+// lateBump writes the sealed field; harmless by itself, flagged at
+// post-seal call sites through the transitive closure.
+func (e *engineX) lateBump(n int64) {
+	e.acct.Bytes += n
+}
+
+// absorbLate mutates the sealed field through the ledger's own pointer
+// method after publishing — still a write.
+func (e *engineX) absorbLate(n int64) Ledger {
+	rep := e.publish()
+	e.acct.bump(n) // want `sealed accounting field acct written after the seal point`
+	return rep
+}
+
+// ResolveLate models the lazy resolve path that runs after publish.
+//
+//owvet:postseal
+func ResolveLate(e *engineX, n int64) {
+	e.acct.Bytes += n // want `sealed accounting field acct written on a post-seal path \(reachable from ResolveLate\)`
+	touchLate(e, n)
+}
+
+func touchLate(e *engineX, n int64) {
+	e.acct.Pages++ // want `sealed accounting field acct written on a post-seal path \(reachable from ResolveLate\)`
+}
+
+// ResolvePrivate accounts post-resume work into the private shard: clean.
+//
+//owvet:postseal
+func ResolvePrivate(e *engineX, n int64) {
+	e.shard.Bytes += n
+}
+
+// ResolveAllowed documents a deliberate exception.
+//
+//owvet:postseal
+func ResolveAllowed(e *engineX) {
+	//owvet:allow sealedacct: corrected-ledger republish path; fingerprint is recomputed afterwards
+	e.acct.Pages++
+}

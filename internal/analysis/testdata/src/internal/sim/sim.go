@@ -1,0 +1,27 @@
+// Package sim is a deterministic-clock stub for the costaccount fixtures:
+// just enough of Clock and CostModel for the analyzer's charge detection.
+package sim
+
+import "time"
+
+// Clock is the virtual machine clock (no wall time anywhere).
+type Clock struct {
+	now time.Duration
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Advance moves the virtual clock forward — the machine-clock charge.
+func (c *Clock) Advance(d time.Duration) { c.now += d }
+
+// CostModel prices the work resurrection performs.
+type CostModel struct {
+	ZeroFillCost     time.Duration
+	SpecValidateCost time.Duration
+}
+
+// CopyCost returns the virtual time to copy n bytes.
+func (m CostModel) CopyCost(n int64) time.Duration {
+	return time.Duration(n) * time.Nanosecond
+}

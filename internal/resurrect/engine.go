@@ -242,7 +242,11 @@ type ProcReport struct {
 type Report struct {
 	Candidates []Candidate
 	Procs      []ProcReport
-	Acct       Accounting
+	// Acct is the published Table 4 ledger: part of the fingerprint, frozen
+	// once Engine.publish has sealed the pass.
+	//
+	//owvet:sealed
+	Acct Accounting
 	// Duration is the virtual time of the *serial* schedule: prologue
 	// plus the sum of every candidate's scan+install time. It does not
 	// depend on Config.Workers (the live parallel schedule is in
@@ -317,7 +321,12 @@ type Engine struct {
 	// bit-identical at any Workers setting.
 	Metrics *metrics.Registry
 
-	rd   reader
+	rd reader
+	// acct is the working copy of the Table 4 ledger. Sealed at
+	// Engine.publish: post-seal paths (the lazy resolver/sweeper) account
+	// into lazyState's private shard instead.
+	//
+	//owvet:sealed
 	acct Accounting
 	// lazy is the speculation table when LazyInstall is on; it outlives Run
 	// (registered as K.Spec) so post-resume touches and the scheduler's

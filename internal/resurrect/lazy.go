@@ -155,7 +155,11 @@ func sortedVAs(byVA map[uint64]*specEntry) []uint64 {
 
 // ResolveSpeculated materializes the speculated page at va on first touch
 // (kernel.SpeculationResolver). The stall — validation plus copy — is
-// charged to the machine clock, i.e. the consuming process's timeline.
+// charged to the machine clock, i.e. the consuming process's timeline. It
+// runs after the pass published its ledger, so nothing reachable from here
+// may write the sealed accounting (owvet sealedacct).
+//
+//owvet:postseal
 func (ls *lazyState) ResolveSpeculated(p *kernel.Process, va uint64) error {
 	ent := ls.pages[p.PID][va]
 	if ent == nil {
@@ -238,7 +242,10 @@ func (ls *lazyState) fallbackCandidate(p *kernel.Process, reason string) error {
 // (PID, VA) order (kernel.SpeculationResolver); the scheduler calls it each
 // round so speculation drains deterministically even for untouched pages.
 // Entries of exited processes are released instead — their dead frames go
-// back to the allocator without a copy.
+// back to the allocator without a copy. Like ResolveSpeculated, this runs
+// after the ledger sealed (owvet sealedacct).
+//
+//owvet:postseal
 func (ls *lazyState) SweepSpeculated(limit int) (int, error) {
 	if limit <= 0 || len(ls.pages) == 0 {
 		return 0, nil

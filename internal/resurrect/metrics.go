@@ -23,6 +23,12 @@ var (
 // derived from the Report's fingerprinted fields (Procs, Timeline,
 // PerCandidate, Acct), never from the live parallel schedule — so the
 // snapshot stays bit-identical at any pool width.
+//
+// This is the ledger's seal point: after it runs, the sealed accounting
+// (Engine.acct, Report.Acct) is part of the published fingerprint and must
+// not be written again (owvet sealedacct).
+//
+//owvet:seal
 func (e *Engine) publish(rep *Report) {
 	reg := e.Metrics
 	if reg == nil {
