@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race fuzz-short owstat-smoke verify bench bench-diff campaign
+.PHONY: build test vet lint race fuzz-short owstat-smoke wal-check verify bench bench-diff campaign
 
 build:
 	$(GO) build ./...
@@ -30,11 +30,13 @@ race:
 
 # fuzz-short gives each decoder-facing fuzz target a brief budget: the
 # record decoders the resurrection scan aims at the dead kernel's bytes,
-# and the flight-recorder parser that reads rings wild writes may have hit.
+# the flight-recorder parser that reads rings wild writes may have hit, and
+# the block-layer crash model's torn-write/rollback/orphan machinery.
 # Long exploratory runs stay manual (go test -fuzz=<target> <pkg>).
 fuzz-short:
 	$(GO) test -run '^$$' -fuzz FuzzRecordDecode -fuzztime 10s ./internal/layout
 	$(GO) test -run '^$$' -fuzz FuzzTraceParse -fuzztime 10s ./internal/trace
+	$(GO) test -run '^$$' -fuzz FuzzTornWrite -fuzztime 10s ./internal/disk
 
 # owstat-smoke drives the metrics plane end to end at the CLI surface:
 # owsim emits a snapshot, owstat renders it, and a self-diff must report
@@ -46,10 +48,20 @@ owstat-smoke: build
 	$(GO) run ./cmd/owstat render .artifacts/metrics.json >/dev/null
 	$(GO) run ./cmd/owstat diff .artifacts/metrics.json .artifacts/metrics.json | grep -q identical
 
+# wal-check is the WAL recovery-invariant gate: a short seeded campaign over
+# both WAL protocol variants under the block-layer crash model with
+# cold-reboot recovery. The buggy variant (no fsync between the records and
+# the COMMIT) must be caught losing data at least once, and the fixed
+# variant must survive every post-crash disk audit — both deterministically,
+# at any worker width.
+wal-check:
+	$(GO) test -run TestWALInvariantCampaign -v ./internal/experiment
+	$(GO) test -run TestWALCrashPointSweep ./internal/workload
+
 # verify is the pre-merge gate: build, vet, owvet lint, full tests, race
-# pass, a short fuzz burst over the crash-kernel decoder surface, and the
-# owstat metrics smoke check.
-verify: build vet lint test race fuzz-short owstat-smoke
+# pass, a short fuzz burst over the crash-kernel decoder surface, the
+# owstat metrics smoke check and the WAL data-survival campaign gate.
+verify: build vet lint test race fuzz-short owstat-smoke wal-check
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

@@ -227,13 +227,18 @@ func fatal(err error) {
 // (resurrect-lazy/mysql-x8), the lazy interruption columns on the table6
 // entries, and changes fastpath-saved-KB from a page-granular estimate to
 // the actual bytes the fast path avoided copying (partial tail pages of
-// non-page-multiple regions no longer overcount). readSnapshot accepts all
-// four, so older checked-in BENCH_N.json baselines stay readable.
+// non-page-multiple regions no longer overcount); /5 adds the WAL
+// data-survival entry (wal-survival/walkv): both WAL protocol variants run
+// under the block-layer crash model with cold-reboot recovery, reporting
+// post-crash disk audits and recovery-invariant violations per variant.
+// readSnapshot accepts all five, so older checked-in BENCH_N.json baselines
+// stay readable.
 const (
 	benchSchemaV1 = "otherworld-bench/1"
 	benchSchemaV2 = "otherworld-bench/2"
 	benchSchemaV3 = "otherworld-bench/3"
 	benchSchemaV4 = "otherworld-bench/4"
+	benchSchemaV5 = "otherworld-bench/5"
 )
 
 type benchSnapshot struct {
@@ -266,7 +271,7 @@ func readSnapshot(data []byte) (*benchSnapshot, error) {
 		return nil, err
 	}
 	switch s.Schema {
-	case benchSchemaV1, benchSchemaV2, benchSchemaV3, benchSchemaV4:
+	case benchSchemaV1, benchSchemaV2, benchSchemaV3, benchSchemaV4, benchSchemaV5:
 		return &s, nil
 	default:
 		return nil, fmt.Errorf("unknown bench snapshot schema %q", s.Schema)
@@ -324,7 +329,7 @@ func benchSnapshotMode(jsonPath string, seed int64, resWorkers, campaignWorkers 
 // separately for -metrics.
 func buildSnapshot(seed int64, resWorkers, campaignWorkers int) (*benchSnapshot, *metrics.Snapshot, error) {
 	snap := &benchSnapshot{
-		Schema:           benchSchemaV4,
+		Schema:           benchSchemaV5,
 		Seed:             seed,
 		ResurrectWorkers: resWorkers,
 		CanonicalWorkers: resurrect.CanonicalWorkers,
@@ -404,6 +409,33 @@ func buildSnapshot(seed int64, resWorkers, campaignWorkers int) (*benchSnapshot,
 		camp.Metrics[fmt.Sprintf("speedup-%dw-x", w)] = cstats.SpeedupAt(w)
 	}
 	snap.Benchmarks = append(snap.Benchmarks, camp)
+
+	// The WAL data-survival audit (schema /5): both WAL protocol variants run
+	// under the block-layer crash model with cold-reboot ("just reboot")
+	// recovery — the worst case for the log, every dirty page an orphan. The
+	// fixed protocol must survive every post-crash disk audit; the buggy
+	// variant's missing record fsync shows up as violated audits. Like every
+	// campaign figure, the counts are a pure function of the seed.
+	wcfg := experiment.DefaultCampaign(6, seed)
+	wcfg.Apps = []string{"WAL", "WAL-bug"}
+	wcfg.DiskCrash = true
+	wcfg.Baseline = true
+	wcfg.SkipProtected = true
+	wcfg.CampaignWorkers = campaignWorkers
+	wcfg.ResurrectWorkers = resWorkers
+	wrows, wstats := experiment.RunTable5Campaign(wcfg)
+	wal := benchEntry{Name: "wal-survival/walkv", Metrics: map[string]float64{
+		"serial-s": wstats.SerialMakespan.Seconds(),
+	}}
+	for _, r := range wrows {
+		suffix := "-fixed"
+		if r.App == "WAL-bug" {
+			suffix = "-buggy"
+		}
+		wal.Metrics["audits"+suffix] = float64(r.DataChecked)
+		wal.Metrics["violations"+suffix] = float64(r.DataViolations)
+	}
+	snap.Benchmarks = append(snap.Benchmarks, wal)
 
 	rows, err := experiment.RunTable6(seed)
 	if err != nil {

@@ -115,14 +115,43 @@ func TestReadSnapshotCompatV3(t *testing.T) {
 	}
 }
 
-// TestBuildSnapshotV4 runs the real bench scenario once and checks the /4
-// shape: the /2 and /3 fields are still there (embedded metrics, normalized
-// logical stamp, fast-path counters, campaign sweep), the saved-bytes figure
-// is the actual bytes avoided (bounded by — and on the warmed scenario
-// strictly below a full page per elided+deduped page would only happen with
-// partial tails, so just bounded by — the page-granular estimate), and the
-// new demand-paged entry quotes the eager-vs-lazy interruption collapse.
-func TestBuildSnapshotV4(t *testing.T) {
+// TestReadSnapshotCompatV4 pins the /4 shape against the checked-in
+// BENCH_6.json baseline: the lazy resurrection entry and lazy table6
+// columns, but no wal-survival entry. Files written by the previous binary
+// must keep decoding (and keep driving -bench-diff) after the bump to /5.
+func TestReadSnapshotCompatV4(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_6.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := readSnapshot(data)
+	if err != nil {
+		t.Fatalf("v4 snapshot no longer decodes: %v", err)
+	}
+	if s.Schema != benchSchemaV4 {
+		t.Fatalf("schema = %q, want %q", s.Schema, benchSchemaV4)
+	}
+	var sawLazy bool
+	for _, b := range s.Benchmarks {
+		if b.Name == "resurrect-lazy/mysql-x8" {
+			sawLazy = true
+		}
+		if b.Name == "wal-survival/walkv" {
+			t.Fatalf("v4 file grew a /5 entry on decode: %+v", b)
+		}
+	}
+	if !sawLazy {
+		t.Fatalf("v4 payload mangled: no lazy entry in %d benchmarks", len(s.Benchmarks))
+	}
+}
+
+// TestBuildSnapshotV5 runs the real bench scenario once and checks the /5
+// shape: the /2–/4 fields are still there (embedded metrics, normalized
+// logical stamp, fast-path counters, campaign sweep, demand-paged entry with
+// the eager-vs-lazy interruption collapse), the saved-bytes figure is the
+// actual bytes avoided (bounded by the page-granular estimate), and the new
+// WAL data-survival entry audits both protocol variants.
+func TestBuildSnapshotV5(t *testing.T) {
 	if testing.Short() {
 		t.Skip("bench scenario in -short mode")
 	}
@@ -130,7 +159,7 @@ func TestBuildSnapshotV4(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if snap.Schema != benchSchemaV4 {
+	if snap.Schema != benchSchemaV5 {
 		t.Fatalf("schema = %q", snap.Schema)
 	}
 	if len(snap.Benchmarks) == 0 {
@@ -197,6 +226,19 @@ func TestBuildSnapshotV4(t *testing.T) {
 	}
 	if camp["speedup-4w-x"] < 2 {
 		t.Fatalf("speedup-4w-x = %v, want >= 2", camp["speedup-4w-x"])
+	}
+	wal := byName["wal-survival/walkv"]
+	if wal == nil {
+		t.Fatal("wal-survival/walkv entry missing")
+	}
+	if wal["audits-fixed"] <= 0 || wal["audits-buggy"] <= 0 {
+		t.Fatalf("WAL survival entry audited nothing: %+v", wal)
+	}
+	if wal["violations-fixed"] != 0 {
+		t.Fatalf("fixed WAL protocol lost data in the bench scenario: %+v", wal)
+	}
+	if wal["serial-s"] <= 0 {
+		t.Fatalf("WAL campaign has no modeled work: %+v", wal)
 	}
 }
 

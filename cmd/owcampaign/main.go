@@ -7,6 +7,7 @@
 //	owcampaign [-n perApp] [-seed n] [-apps csv] [-hardening on|off]
 //	           [-nocrc] [-noprotected] [-campaign-workers n]
 //	           [-workers n] [-resurrect-workers n] [-lazy-install]
+//	           [-disk-crash] [-baseline]
 //	           [-trace] [-trace-json f] [-metrics] [-metrics-json f]
 //
 // The paper ran 400 faulted experiments per application; -n 400 reproduces
@@ -43,6 +44,8 @@ func main() {
 	campaignWorkers := flag.Int("campaign-workers", 0, "campaign pool width: whole experiments run concurrently (0 = -workers, then NumCPU); the table, attributions and metrics are bit-identical at any width")
 	resWorkers := flag.Int("resurrect-workers", 0, "per-experiment resurrection pipeline workers (0 = NumCPU); changes only the modeled interruption time")
 	lazyInstall := flag.Bool("lazy-install", false, "demand-paged resurrection in every experiment: resume at context install, CRC-validated copy-on-access pages")
+	diskCrash := flag.Bool("disk-crash", false, "block-layer crash model: at kernel-crash time the volatile write cache may roll back, the in-flight sector may tear, and unflushed dirty pages drain in seeded order; drivers with a platter audit add a data-survival column")
+	baseline := flag.Bool("baseline", false, "no-Otherworld control: cold-reboot and restart the application from disk instead of resurrecting")
 	jsonOut := flag.String("json", "", "also write the rows as JSON to this file")
 	showTrace := flag.Bool("trace", false, "print per-application failure attributions from the flight recorder")
 	traceJSON := flag.String("trace-json", "", "write the failure attributions as JSON to this file")
@@ -56,6 +59,8 @@ func main() {
 	cfg.CampaignWorkers = *campaignWorkers
 	cfg.ResurrectWorkers = *resWorkers
 	cfg.LazyInstall = *lazyInstall
+	cfg.DiskCrash = *diskCrash
+	cfg.Baseline = *baseline
 	cfg.SkipProtected = *noprotected
 	cfg.VerifyCRC = !*nocrc
 	if *appsCSV != "" {
@@ -108,6 +113,9 @@ func main() {
 		faulted, discarded, 100*float64(discarded)/float64(faulted+discarded))
 	fmt.Printf("resurrection failures from detected kernel-structure corruption: %d of %d\n",
 		structCorrupt, faulted)
+	if checked, violations := experiment.DataTotals(rows); checked > 0 {
+		fmt.Printf("data invariant violations: %d of %d post-crash disk audits\n", violations, checked)
+	}
 	if reasons := experiment.TopReasons(rows); len(reasons) > 0 {
 		fmt.Println("\nfailure attributions (all applications):")
 		for _, r := range reasons {

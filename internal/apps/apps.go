@@ -26,6 +26,8 @@ const (
 	ProgBLCR         = "blcr-app"
 	ProgVolano       = "volano"
 	ProgShell        = "sh"
+	ProgWAL          = "walkv"
+	ProgWALBug       = "walkv-bug"
 )
 
 // Info describes an application's Otherworld integration, reproducing the
@@ -66,9 +68,12 @@ func init() {
 	kernel.RegisterProgram(ProgBLCR, func() kernel.Program { return &BLCR{} })
 	kernel.RegisterProgram(ProgVolano, func() kernel.Program { return &Volano{} })
 	kernel.RegisterProgram(ProgShell, func() kernel.Program { return &Shell{} })
+	kernel.RegisterProgram(ProgWAL, func() kernel.Program { return &WALKV{} })
+	kernel.RegisterProgram(ProgWALBug, func() kernel.Program { return &WALKV{Buggy: true} })
 
 	kernel.RegisterCrashProc(MySQLCrashProc, mysqlCrashProcedure)
 	kernel.RegisterCrashProc(ApacheCrashProc, apacheCrashProcedure)
+	kernel.RegisterCrashProc(WALCrashProc, walCrashProcedure)
 
 	// Service start times for Table 6: the shell is covered by the init
 	// scripts; MySQL and Apache pay service initialization on every

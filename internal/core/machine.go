@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"time"
 
+	"otherworld/internal/disk"
 	"otherworld/internal/fs"
 	"otherworld/internal/hw"
 	"otherworld/internal/kernel"
@@ -69,6 +70,24 @@ type Options struct {
 	// metrics plane entirely (Machine.Metrics() returns nil and every
 	// instrument becomes a no-op).
 	MetricsPages int
+	// DiskCrash configures the block-layer crash model. Zero value
+	// disables it: writes reach the platter directly and durably, and
+	// failure handling never touches the disk — the pre-model behavior,
+	// so existing seeds and goldens are unperturbed.
+	DiskCrash DiskCrashOptions
+}
+
+// DiskCrashOptions configures the deterministic block-layer crash model
+// (internal/disk.CrashModel): a bounded volatile write cache under the page
+// cache that can roll back at a kernel crash, a torn in-flight sector
+// write, and a seeded undefined-order flush of dirty pages resurrection did
+// not rescue.
+type DiskCrashOptions struct {
+	// Enabled turns the model on.
+	Enabled bool
+	// CacheDepth bounds the volatile write cache (acked-but-unbarriered
+	// block writes); 0 selects disk.DefaultCacheDepth.
+	CacheDepth int
 }
 
 // DefaultOptions returns the paper's experimental configuration: 1 GB VM,
@@ -122,6 +141,12 @@ type Machine struct {
 	metricsDropped   int64
 	// swapIdx is the partition the current main kernel swaps to.
 	swapIdx int
+
+	// diskModel is the block-layer crash model shared by every kernel
+	// generation (nil when Options.DiskCrash is off). It runs only on the
+	// serial failure-handling path, so its seeded stream is independent of
+	// campaign and resurrection worker widths.
+	diskModel *disk.CrashModel
 
 	// Reboots counts completed microreboots.
 	Reboots int
@@ -181,6 +206,10 @@ type FailureOutcome struct {
 	// crash reservation before any recovery step touched it (nil when the
 	// metrics plane is disabled). Corrupted pages are counted, not fatal.
 	DeadMetrics *metrics.ParsedSegment
+	// DiskCrash is the block-layer crash model's report for this failure
+	// (nil when the model is off): rollback, tear and orphan-flush
+	// accounting for the attribution and data-survival layers.
+	DiskCrash *disk.CrashReport
 }
 
 // InterruptionAt re-evaluates the outage at an arbitrary resurrection
@@ -256,12 +285,17 @@ func NewMachine(opts Options) (*Machine, error) {
 	// accounting); kernel.Boot charges the rest.
 	m.HW.Clock.Advance(m.cost.BIOS + m.cost.BootLoader)
 
+	if opts.DiskCrash.Enabled {
+		m.diskModel = disk.NewCrashModel(m.FS, opts.Seed^0xD15CC4A5, opts.DiskCrash.CacheDepth)
+	}
+
 	k, err := kernel.Boot(m.HW, m.FS, m.kernelParams(), kernel.BootOptions{
 		Region: phys.Region{Start: 0, Frames: m.slots[m.imageSlot].Start},
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: cold boot: %w", err)
 	}
+	k.Disk = m.diskModel
 	m.K = k
 	m.HW.Clock.Advance(m.cost.InitScripts)
 	if err := k.LoadCrashImage(); err != nil {
@@ -271,6 +305,9 @@ func NewMachine(opts Options) (*Machine, error) {
 	m.attachMetrics()
 	return m, nil
 }
+
+// DiskModel returns the block-layer crash model (nil when disabled).
+func (m *Machine) DiskModel() *disk.CrashModel { return m.diskModel }
 
 // imageRegion is the write-protected crash-image part of a slot: the slot
 // minus the unprotected ring and metrics tails.
@@ -376,6 +413,18 @@ func (m *Machine) HandleFailure() (*FailureOutcome, error) {
 	}
 	started := m.HW.Clock.Now()
 	out := &FailureOutcome{Panic: pe}
+	// The block-layer crash model fires at the instant of failure: the
+	// drive's volatile write cache and the in-flight sector die with the
+	// kernel, before any recovery step runs. The dead kernel's dirty
+	// page-cache pages are captured now — whatever resurrection does not
+	// flush later becomes the model's orphan set.
+	var deadDirty []disk.DirtyPage
+	if m.diskModel != nil {
+		if _, derr := m.diskModel.CrashNow(); derr != nil {
+			return nil, fmt.Errorf("core: disk crash model: %w", derr)
+		}
+		deadDirty = m.K.DirtyPages()
+	}
 	// Salvage the dead kernel's flight recorder first, before any recovery
 	// step can disturb the bytes; a failed transfer then still leaves
 	// post-mortem context behind.
@@ -388,6 +437,9 @@ func (m *Machine) HandleFailure() (*FailureOutcome, error) {
 	}
 	out.Transfer = m.K.AttemptTransfer()
 	if !out.Transfer.OK {
+		// No crash kernel will ever flush these pages: every dirty page is
+		// an orphan for the drive to drain (or lose) on its own.
+		m.finishDiskCrash(out, deadDirty, nil)
 		out.Result = ResultSystemDown
 		m.LastOutcome = out
 		return out, nil
@@ -419,12 +471,14 @@ func (m *Machine) HandleFailure() (*FailureOutcome, error) {
 		// The crash kernel image failed to initialize; the system is
 		// down. (With an intact protected image this does not happen —
 		// the paper observed 100% crash-kernel boot success.)
+		m.finishDiskCrash(out, deadDirty, nil)
 		out.Result = ResultSystemDown
 		out.Transfer.OK = false
 		out.Transfer.Reason = "crash kernel initialization failed: " + err.Error()
 		m.LastOutcome = out
 		return out, nil
 	}
+	crashK.Disk = m.diskModel
 
 	// Crash-kernel-specific startup work and the shared init scripts
 	// (Section 3.2: same scripts, same mounts, the other swap partition).
@@ -451,6 +505,10 @@ func (m *Machine) HandleFailure() (*FailureOutcome, error) {
 	engine.Metrics = m.metrics
 	out.Report = engine.Run(m.opts.Resurrection)
 
+	// Dirty pages resurrection did not flush are orphans: the drive drains
+	// them in its own (seeded) order, or loses them outright.
+	m.finishDiskCrash(out, deadDirty, out.Report)
+
 	// Morph (Section 3.6): reclaim all memory, reserve the other slot,
 	// load a fresh crash image, become the main kernel. The new slot is
 	// split like the old one: protected image plus flight-recorder tail.
@@ -474,6 +532,14 @@ func (m *Machine) HandleFailure() (*FailureOutcome, error) {
 		return nil, fmt.Errorf("core: load fresh crash image: %w", err)
 	}
 	m.attachTracer(crashK)
+	if out.DiskCrash != nil && crashK.Tracer != nil {
+		crashK.Tracer.Record(trace.Event{
+			Kind: trace.KindDiskCrash,
+			A:    uint64(out.DiskCrash.RolledBack),
+			B:    uint64(out.DiskCrash.OrphanFlushed),
+			Note: out.DiskCrash.Note(),
+		})
+	}
 
 	// Sockets died with the main kernel: drop undelivered inbound data.
 	// (attachMetrics runs below, after m.K and the reboot count are
@@ -497,6 +563,76 @@ func (m *Machine) HandleFailure() (*FailureOutcome, error) {
 	return out, nil
 }
 
+// finishDiskCrash runs the crash model's orphan flush for one handled
+// failure: the dead kernel's dirty pages minus whatever the resurrection
+// pass flushed (identified by the install's FlushedPages handoff), in
+// original capture order. The resulting report lands on the outcome and in
+// the disk_crash_* metrics.
+func (m *Machine) finishDiskCrash(out *FailureOutcome, dirty []disk.DirtyPage, rep *resurrect.Report) {
+	if m.diskModel == nil {
+		return
+	}
+	orphans := dirty
+	if rep != nil {
+		flushed := make(map[resurrect.FlushedPage]struct{})
+		for _, p := range rep.Procs {
+			for _, fp := range p.FlushedPages {
+				flushed[fp] = struct{}{}
+			}
+		}
+		if len(flushed) > 0 {
+			orphans = orphans[:0:0]
+			for _, dp := range dirty {
+				if _, ok := flushed[resurrect.FlushedPage{Path: dp.Path, Off: dp.Off}]; !ok {
+					orphans = append(orphans, dp)
+				}
+			}
+		}
+	}
+	crep, derr := m.diskModel.OrphanFlush(orphans)
+	if derr != nil {
+		crep.Err = derr.Error()
+	}
+	out.DiskCrash = &crep
+	m.recordDiskMetrics(crep)
+}
+
+// recordDiskMetrics publishes one crash report to the metrics plane.
+func (m *Machine) recordDiskMetrics(rep disk.CrashReport) {
+	if m.metrics == nil {
+		return
+	}
+	m.metrics.Counter("disk_crash_events_total", "block-layer crash model firings", nil).Add(1)
+	m.metrics.Counter("disk_crash_rollback_writes_total", "acked writes lost to write-cache rollback", nil).Add(int64(rep.RolledBack))
+	m.metrics.Counter("disk_crash_rollback_bytes_total", "payload bytes lost to write-cache rollback", nil).Add(rep.RolledBackBytes)
+	if rep.Torn {
+		m.metrics.Counter("disk_crash_torn_writes_total", "in-flight sector writes torn at crash", nil).Add(1)
+	}
+	m.metrics.Counter("disk_crash_orphan_pages_total", "orphaned dirty pages the drive flushed on its own", nil).Add(int64(rep.OrphanFlushed))
+	m.metrics.Counter("disk_crash_orphan_bytes_total", "bytes of orphaned dirty pages the drive flushed", nil).Add(rep.OrphanBytes)
+	m.metrics.Counter("disk_crash_orphan_lost_total", "orphaned dirty pages lost outright", nil).Add(int64(rep.OrphanTotal - rep.OrphanFlushed))
+}
+
+// CrashDiskForReboot applies the block-layer crash consequences for a
+// failure the baseline (no-Otherworld) world handles with a cold reboot:
+// no crash kernel will ever flush the page cache, so every dirty page is
+// an orphan. Call it on the failed kernel before ColdReboot. Returns nil
+// when the model is off.
+func (m *Machine) CrashDiskForReboot() (*disk.CrashReport, error) {
+	if m.diskModel == nil {
+		return nil, nil
+	}
+	if _, err := m.diskModel.CrashNow(); err != nil {
+		return nil, fmt.Errorf("core: disk crash model: %w", err)
+	}
+	rep, err := m.diskModel.OrphanFlush(m.K.DirtyPages())
+	if err != nil {
+		rep.Err = err.Error()
+	}
+	m.recordDiskMetrics(rep)
+	return &rep, nil
+}
+
 // ColdReboot recovers a machine whose transfer failed: the full reboot the
 // paper's baseline world always performs. All volatile state is lost; the
 // file system survives.
@@ -517,6 +653,7 @@ func (m *Machine) ColdReboot() error {
 	if err != nil {
 		return fmt.Errorf("core: cold reboot: %w", err)
 	}
+	k.Disk = m.diskModel
 	m.K = k
 	m.HW.Clock.Advance(m.cost.InitScripts)
 	m.Net.FlushInbound()

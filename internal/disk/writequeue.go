@@ -1,6 +1,20 @@
 package disk
 
-import "sort"
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Errors reported by WriteQueue.Enqueue for malformed extents.
+var (
+	// ErrEmptyExtent rejects zero-length writes: they carry no payload and
+	// would silently vanish in the merge.
+	ErrEmptyExtent = errors.New("disk: empty extent")
+	// ErrExtentBounds rejects negative offsets and extents past the
+	// device end.
+	ErrExtentBounds = errors.New("disk: extent out of device bounds")
+)
 
 // WriteQueue is the small write-combining queue the resurrection install
 // phase flushes dirty page-cache pages through: writes are buffered, then
@@ -16,6 +30,11 @@ import "sort"
 // each final byte is issued and counted exactly once, so the
 // resurrect_flush_* counters never double-charge an overlapped payload.
 type WriteQueue struct {
+	// Limit, when positive, is the device end in bytes: an extent must end
+	// at or before it. Zero means unbounded (a growable file store with no
+	// fixed geometry).
+	Limit int64
+
 	pending []queuedWrite
 }
 
@@ -33,9 +52,23 @@ type segment struct {
 }
 
 // Enqueue buffers one write. The data slice is referenced, not copied; the
-// caller must not mutate it before Flush.
-func (q *WriteQueue) Enqueue(path string, off int64, data []byte) {
+// caller must not mutate it before Flush. Zero-length extents, negative
+// offsets and extents past Limit are rejected rather than silently merged
+// away: a caller handing the elevator a malformed extent has a corrupt
+// page-cache record, and dropping it would hide the corruption.
+func (q *WriteQueue) Enqueue(path string, off int64, data []byte) error {
+	if len(data) == 0 {
+		return fmt.Errorf("%w: %q offset %d", ErrEmptyExtent, path, off)
+	}
+	if off < 0 {
+		return fmt.Errorf("%w: %q offset %d", ErrExtentBounds, path, off)
+	}
+	if q.Limit > 0 && off+int64(len(data)) > q.Limit {
+		return fmt.Errorf("%w: %q [%d, %d) past device end %d",
+			ErrExtentBounds, path, off, off+int64(len(data)), q.Limit)
+	}
 	q.pending = append(q.pending, queuedWrite{path: path, off: off, data: data})
+	return nil
 }
 
 // Pending reports the number of buffered writes.

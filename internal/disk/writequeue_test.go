@@ -21,14 +21,67 @@ func record(log *[]recordedWrite) func(string, int64, []byte) error {
 	}
 }
 
+func mustEnqueue(t *testing.T, q *WriteQueue, path string, off int64, data []byte) {
+	t.Helper()
+	if err := q.Enqueue(path, off, data); err != nil {
+		t.Fatalf("Enqueue(%q, %d, %d bytes): %v", path, off, len(data), err)
+	}
+}
+
+// TestWriteQueueRejectsEmptyExtent pins the validation added to Enqueue:
+// a zero-length write used to be silently merged into neighbouring runs
+// (or create a phantom empty extent); now it is an explicit error and
+// leaves the queue untouched.
+func TestWriteQueueRejectsEmptyExtent(t *testing.T) {
+	var q WriteQueue
+	if err := q.Enqueue("f", 0, nil); !errors.Is(err, ErrEmptyExtent) {
+		t.Fatalf("Enqueue(nil data) = %v, want ErrEmptyExtent", err)
+	}
+	if err := q.Enqueue("f", 8, []byte{}); !errors.Is(err, ErrEmptyExtent) {
+		t.Fatalf("Enqueue(empty data) = %v, want ErrEmptyExtent", err)
+	}
+	if q.Pending() != 0 {
+		t.Fatalf("rejected extents were queued: %d pending", q.Pending())
+	}
+}
+
+// TestWriteQueueRejectsOutOfBoundsExtent pins the bounds validation: a
+// negative offset is always out of bounds, and with a device Limit set, a
+// write reaching past the device end is rejected instead of merged.
+func TestWriteQueueRejectsOutOfBoundsExtent(t *testing.T) {
+	var q WriteQueue
+	if err := q.Enqueue("f", -1, []byte("x")); !errors.Is(err, ErrExtentBounds) {
+		t.Fatalf("Enqueue(off=-1) = %v, want ErrExtentBounds", err)
+	}
+
+	q = WriteQueue{Limit: 16}
+	if err := q.Enqueue("f", 12, []byte("abcd")); err != nil {
+		t.Fatalf("Enqueue at device end: %v", err)
+	}
+	if err := q.Enqueue("f", 13, []byte("abcd")); !errors.Is(err, ErrExtentBounds) {
+		t.Fatalf("Enqueue past device end = %v, want ErrExtentBounds", err)
+	}
+	if err := q.Enqueue("f", 16, []byte("a")); !errors.Is(err, ErrExtentBounds) {
+		t.Fatalf("Enqueue at Limit = %v, want ErrExtentBounds", err)
+	}
+	if q.Pending() != 1 {
+		t.Fatalf("Pending = %d, want only the in-bounds extent", q.Pending())
+	}
+	var log []recordedWrite
+	extents, n, err := q.Flush(record(&log))
+	if err != nil || extents != 1 || n != 4 {
+		t.Fatalf("flush after rejections = %d/%d/%v, want 1/4/nil", extents, n, err)
+	}
+}
+
 func TestWriteQueueMergesAdjacentRuns(t *testing.T) {
 	var q WriteQueue
 	// Enqueue out of order, across two files, with one gap on "a".
-	q.Enqueue("a", 8, []byte("CD"))
-	q.Enqueue("b", 0, []byte("xy"))
-	q.Enqueue("a", 0, []byte("AB"))
-	q.Enqueue("a", 2, []byte("ab"))
-	q.Enqueue("a", 4, []byte("cd"))
+	mustEnqueue(t, &q, "a", 8, []byte("CD"))
+	mustEnqueue(t, &q, "b", 0, []byte("xy"))
+	mustEnqueue(t, &q, "a", 0, []byte("AB"))
+	mustEnqueue(t, &q, "a", 2, []byte("ab"))
+	mustEnqueue(t, &q, "a", 4, []byte("cd"))
 	if q.Pending() != 5 {
 		t.Fatalf("Pending = %d, want 5", q.Pending())
 	}
@@ -65,8 +118,8 @@ func TestWriteQueueDoesNotClobberSources(t *testing.T) {
 	first := backing[0 : 8 : 8+8] // capacity deliberately reaches into the second half
 	second := backing[8:16]
 	var q WriteQueue
-	q.Enqueue("f", 0, first)
-	q.Enqueue("f", 8, second)
+	mustEnqueue(t, &q, "f", 0, first)
+	mustEnqueue(t, &q, "f", 8, second)
 	var log []recordedWrite
 	extents, n, err := q.Flush(record(&log))
 	if err != nil || extents != 1 || n != 16 {
@@ -88,7 +141,7 @@ func TestWriteQueueEnqueueOrderIrrelevant(t *testing.T) {
 	flush := func(order []int64) []recordedWrite {
 		var q WriteQueue
 		for _, off := range order {
-			q.Enqueue("f", off, pages[off])
+			mustEnqueue(t, &q, "f", off, pages[off])
 		}
 		var log []recordedWrite
 		if _, _, err := q.Flush(record(&log)); err != nil {
@@ -105,8 +158,8 @@ func TestWriteQueueEnqueueOrderIrrelevant(t *testing.T) {
 
 func TestWriteQueueSameOffsetLastWriteWins(t *testing.T) {
 	var q WriteQueue
-	q.Enqueue("f", 0, []byte("old!"))
-	q.Enqueue("f", 0, []byte("new!"))
+	mustEnqueue(t, &q, "f", 0, []byte("old!"))
+	mustEnqueue(t, &q, "f", 0, []byte("new!"))
 	var log []recordedWrite
 	extents, n, err := q.Flush(record(&log))
 	if err != nil {
@@ -130,8 +183,8 @@ func TestWriteQueueSameOffsetLastWriteWins(t *testing.T) {
 // counted exactly once.
 func TestWriteQueueOverlapLastWriterWins(t *testing.T) {
 	var q WriteQueue
-	q.Enqueue("f", 0, []byte("AAAAAAAA")) // [0,8)
-	q.Enqueue("f", 4, []byte("BBBBBBBB")) // [4,12): overlaps the tail of the first
+	mustEnqueue(t, &q, "f", 0, []byte("AAAAAAAA")) // [0,8)
+	mustEnqueue(t, &q, "f", 4, []byte("BBBBBBBB")) // [4,12): overlaps the tail of the first
 	var log []recordedWrite
 	extents, n, err := q.Flush(record(&log))
 	if err != nil {
@@ -148,8 +201,8 @@ func TestWriteQueueOverlapLastWriterWins(t *testing.T) {
 
 	// Enqueue order decides the winner, not offset order: a later write
 	// that starts *before* an earlier one still overwrites the overlap.
-	q.Enqueue("g", 4, []byte("XXXX"))   // [4,8)
-	q.Enqueue("g", 0, []byte("yyyyyy")) // [0,6): later enqueue wins over [4,6)
+	mustEnqueue(t, &q, "g", 4, []byte("XXXX"))   // [4,8)
+	mustEnqueue(t, &q, "g", 0, []byte("yyyyyy")) // [0,6): later enqueue wins over [4,6)
 	log = nil
 	extents, n, err = q.Flush(record(&log))
 	if err != nil {
@@ -168,10 +221,10 @@ func TestWriteQueueOverlapLastWriterWins(t *testing.T) {
 // duplicate, and a gapped write that must stay its own extent.
 func TestWriteQueueOverlapGapAndEqualMix(t *testing.T) {
 	var q WriteQueue
-	q.Enqueue("f", 0, []byte("0123456789")) // [0,10)
-	q.Enqueue("f", 2, []byte("ab"))         // interior overwrite [2,4)
-	q.Enqueue("f", 2, []byte("cd"))         // equal-offset duplicate: last wins
-	q.Enqueue("f", 16, []byte("ZZ"))        // gap: separate extent
+	mustEnqueue(t, &q, "f", 0, []byte("0123456789")) // [0,10)
+	mustEnqueue(t, &q, "f", 2, []byte("ab"))         // interior overwrite [2,4)
+	mustEnqueue(t, &q, "f", 2, []byte("cd"))         // equal-offset duplicate: last wins
+	mustEnqueue(t, &q, "f", 16, []byte("ZZ"))        // gap: separate extent
 	var log []recordedWrite
 	extents, n, err := q.Flush(record(&log))
 	if err != nil {
@@ -196,9 +249,9 @@ func TestWriteQueueOverlapGapAndEqualMix(t *testing.T) {
 
 func TestWriteQueueErrorStopsAfterFailingExtent(t *testing.T) {
 	var q WriteQueue
-	q.Enqueue("a", 0, []byte("aa"))
-	q.Enqueue("b", 0, []byte("bb"))
-	q.Enqueue("c", 0, []byte("cc"))
+	mustEnqueue(t, &q, "a", 0, []byte("aa"))
+	mustEnqueue(t, &q, "b", 0, []byte("bb"))
+	mustEnqueue(t, &q, "c", 0, []byte("cc"))
 	boom := errors.New("disk full")
 	calls := 0
 	extents, n, err := q.Flush(func(string, int64, []byte) error {

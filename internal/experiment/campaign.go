@@ -53,6 +53,12 @@ type Table5Row struct {
 	// structured attribution (stage, resurrection phase, panic kind,
 	// normalized reason) and sorted most-frequent first.
 	Attributions []AttributionCount
+	// DataChecked counts unprotected-pass runs whose driver audited the
+	// application's on-disk state after the crash; DataViolations of them
+	// broke a recovery invariant — the "data survived" column for apps with
+	// a platter audit (zero for apps without one).
+	DataChecked    int
+	DataViolations int
 }
 
 // CampaignConfig parameterizes a Table 5 campaign.
@@ -85,6 +91,11 @@ type CampaignConfig struct {
 	// LazyInstall runs every experiment with the demand-paged resurrection
 	// install (resume at context install, validated copy-on-access pages).
 	LazyInstall bool
+	// DiskCrash runs every experiment with the block-layer crash model.
+	DiskCrash bool
+	// Baseline replaces resurrection with a cold reboot plus application
+	// restart in every experiment (the no-Otherworld control).
+	Baseline bool
 	// SkipProtected skips the protected-mode corruption sub-campaign.
 	SkipProtected bool
 	// MemoryMB sizes experiment machines.
@@ -131,6 +142,7 @@ type tally struct {
 	n, discarded                      int
 	success, boot, resurrect, corrupt int
 	structCorrupt                     int
+	dataChecked, dataViolations       int
 	attribs                           map[Attribution]int
 	// interruption sums the serial/parallel-model outages over successful
 	// recoveries, for the Table 5 mean-interruption columns.
@@ -253,6 +265,8 @@ func runCampaignPass(cfg CampaignConfig, app string, protection bool, want int, 
 				ecfg.VerifyCRC = cfg.VerifyCRC
 				ecfg.ResurrectWorkers = cfg.ResurrectWorkers
 				ecfg.LazyInstall = cfg.LazyInstall
+				ecfg.DiskCrash = cfg.DiskCrash
+				ecfg.Baseline = cfg.Baseline
 				if cfg.MemoryMB > 0 {
 					ecfg.MemoryMB = cfg.MemoryMB
 				}
@@ -310,6 +324,17 @@ func commitResult(cfg CampaignConfig, app string, protection bool, passName stri
 		}
 	case OutcomeDataCorruption:
 		t.corrupt++
+	}
+	if res.DataChecked {
+		t.dataChecked++
+		verdict := "intact"
+		if res.DataErr != nil {
+			t.dataViolations++
+			verdict = "violated"
+		}
+		cfg.Metrics.Counter("campaign_data_checks_total",
+			"post-crash on-disk recovery-invariant audits by verdict",
+			metrics.Labels{"app": app, "pass": passName, "verdict": verdict}).Inc()
 	}
 	if res.Outcome != OutcomeSuccess && res.Detail != nil {
 		t.attribs[res.Detail.Attribution]++
@@ -401,11 +426,13 @@ func RunTable5Campaign(cfg CampaignConfig) ([]Table5Row, *CampaignStats) {
 		base, spans := runCampaignPass(cfg, app, false, cfg.PerApp, passSeedSalt(i, 0, passCount))
 		stats.spans = append(stats.spans, spans...)
 		row := Table5Row{
-			App:           app,
-			N:             base.n,
-			Discarded:     base.discarded,
-			StructCorrupt: base.structCorrupt,
-			Attributions:  base.sortedAttributions(),
+			App:            app,
+			N:              base.n,
+			Discarded:      base.discarded,
+			StructCorrupt:  base.structCorrupt,
+			Attributions:   base.sortedAttributions(),
+			DataChecked:    base.dataChecked,
+			DataViolations: base.dataViolations,
 		}
 		if base.n < cfg.PerApp {
 			row.Shortfall = cfg.PerApp - base.n
@@ -452,20 +479,44 @@ func RunTable5Campaign(cfg CampaignConfig) ([]Table5Row, *CampaignStats) {
 
 // RenderTable5 formats campaign rows like the paper's Table 5, extended
 // with mean-interruption columns (serial schedule and the parallel schedule
-// at the canonical worker count) over successful recoveries.
+// at the canonical worker count) over successful recoveries. A "data
+// survived" column appears only when some row actually audited on-disk
+// state, so campaigns over the classic five applications render exactly as
+// before.
 func RenderTable5(rows []Table5Row) string {
+	withData := false
+	for _, r := range rows {
+		if r.DataChecked > 0 {
+			withData = true
+		}
+	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-11s %13s %17s %21s %31s %23s\n",
+	fmt.Fprintf(&b, "%-11s %13s %17s %21s %31s %23s",
 		"Application", "Successful", "Failure to boot", "Failure to resurrect",
 		"Data corruption with/without", "Mean interruption")
-	fmt.Fprintf(&b, "%-11s %13s %17s %21s %31s %23s\n",
+	if withData {
+		fmt.Fprintf(&b, " %15s", "Data survived")
+	}
+	fmt.Fprintf(&b, "\n%-11s %13s %17s %21s %31s %23s",
 		"", "resurrection", "the crash kernel", "application", "user space protected",
 		fmt.Sprintf("serial / %dw", resurrect.CanonicalWorkers))
+	if withData {
+		fmt.Fprintf(&b, " %15s", "(disk audit)")
+	}
+	b.WriteString("\n")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-11s %12.2f%% %16.2f%% %20.2f%% %14.2f%% / %.2f%% %14.0fs / %.0fs\n",
+		fmt.Fprintf(&b, "%-11s %12.2f%% %16.2f%% %20.2f%% %14.2f%% / %.2f%% %14.0fs / %.0fs",
 			r.App, 100*r.Success, 100*r.BootFailure, 100*r.ResurrectFail,
 			100*r.CorruptProt, 100*r.CorruptNoProt,
 			r.MeanInterruption.Seconds(), r.MeanParallelInterruption.Seconds())
+		if withData {
+			if r.DataChecked > 0 {
+				fmt.Fprintf(&b, " %9d/%-5d", r.DataChecked-r.DataViolations, r.DataChecked)
+			} else {
+				fmt.Fprintf(&b, " %15s", "-")
+			}
+		}
+		b.WriteString("\n")
 	}
 	return b.String()
 }
@@ -479,6 +530,17 @@ func Totals(rows []Table5Row) (faulted, discarded, structCorrupt int) {
 		structCorrupt += r.StructCorrupt
 	}
 	return faulted, discarded, structCorrupt
+}
+
+// DataTotals sums the campaign's post-crash disk audits: how many runs
+// checked the application's on-disk recovery invariants and how many of
+// those found them violated.
+func DataTotals(rows []Table5Row) (checked, violations int) {
+	for _, r := range rows {
+		checked += r.DataChecked
+		violations += r.DataViolations
+	}
+	return checked, violations
 }
 
 // TopReasons returns the campaign's failure attributions sorted by

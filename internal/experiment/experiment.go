@@ -6,15 +6,21 @@
 package experiment
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"time"
 
 	"otherworld/internal/core"
+	"otherworld/internal/disk"
 	"otherworld/internal/faultinject"
+	"otherworld/internal/fs"
 	"otherworld/internal/hw"
 	"otherworld/internal/kernel"
 	"otherworld/internal/layout"
 	"otherworld/internal/resurrect"
+	"otherworld/internal/sim"
 	"otherworld/internal/trace"
 	"otherworld/internal/workload"
 )
@@ -79,6 +85,10 @@ func DriverFor(app string, seed int64) (workload.Driver, error) {
 		return workload.NewVolanoDriver(seed), nil
 	case "shell":
 		return workload.NewShellDriver(seed), nil
+	case "WAL":
+		return workload.NewWALDriver(seed, false), nil
+	case "WAL-bug":
+		return workload.NewWALDriver(seed, true), nil
 	}
 	return nil, fmt.Errorf("experiment: unknown application %q", app)
 }
@@ -108,6 +118,16 @@ type Config struct {
 	// resume as soon as their records parse, with page copies completed
 	// copy-on-access (CRC-validated) or by the background sweeper.
 	LazyInstall bool
+	// DiskCrash enables the block-layer crash model: at kernel-crash time
+	// the volatile write cache may roll back, the in-flight sector write may
+	// tear, and dirty page-cache pages that resurrection did not flush drain
+	// to the platter in an undefined-but-seeded order.
+	DiskCrash bool
+	// Baseline skips Otherworld entirely: at kernel failure the machine
+	// cold-reboots (the disk takes its crash consequences, every dirty page
+	// orphaned) and the workload restarts the application from disk — the
+	// "just reboot" recovery Otherworld is compared against.
+	Baseline bool
 }
 
 // DefaultConfig returns the paper's experiment parameters.
@@ -160,6 +180,18 @@ type Result struct {
 	// (core.PoolSchedule) consumes these spans; like every other field it
 	// is a pure function of the seed.
 	Duration time.Duration
+	// DataChecked is true when the driver audited the application's on-disk
+	// state against its recovery invariants after the crash; DataErr is the
+	// violation found (nil when the data survived intact).
+	DataChecked bool
+	DataErr     error
+	// DiskCrash is the block-layer crash model's report (nil when the model
+	// is disabled or no crash fired).
+	DiskCrash *disk.CrashReport
+	// DiskFingerprint hashes the post-experiment disk image (every file's
+	// path and contents) when the crash model is enabled: the replay and
+	// worker-width determinism tests compare it byte for byte.
+	DiskFingerprint string
 }
 
 // Run executes one complete fault-injection experiment: boot, warm up the
@@ -171,8 +203,35 @@ func Run(cfg Config) Result {
 	out := runBody(cfg, &m)
 	if m != nil {
 		out.Duration = m.HW.Clock.Now()
+		if cfg.DiskCrash {
+			if dm := m.DiskModel(); dm != nil && dm.Report().Fired {
+				rep := dm.Report()
+				out.DiskCrash = &rep
+			}
+			out.DiskFingerprint = DiskFingerprint(m.FS)
+		}
 	}
 	return out
+}
+
+// DiskFingerprint hashes a disk image: every file path, size and content in
+// the file system's sorted order. Two runs with the same seed must produce
+// identical fingerprints at any campaign or resurrection worker width.
+func DiskFingerprint(f *fs.FlatFS) string {
+	h := sha256.New()
+	var n [8]byte
+	for _, path := range f.List() {
+		data, err := f.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		h.Write([]byte(path))
+		h.Write([]byte{0})
+		binary.LittleEndian.PutUint64(n[:], uint64(len(data)))
+		h.Write(n[:])
+		h.Write(data)
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // runBody is Run without the duration stamp; it publishes the experiment
@@ -199,6 +258,7 @@ func runBody(cfg Config, mp **core.Machine) Result {
 	opts.Seed = cfg.Seed
 	opts.Resurrection.Workers = cfg.ResurrectWorkers
 	opts.LazyInstall = cfg.LazyInstall
+	opts.DiskCrash.Enabled = cfg.DiskCrash
 
 	m, err := core.NewMachine(opts)
 	if err != nil {
@@ -222,9 +282,27 @@ func runBody(cfg Config, mp **core.Machine) Result {
 	workload.RunUntilIdle(m, d, warm, warm*40)
 
 	inj := faultinject.New(cfg.Seed ^ 0x5EEDFA17)
+	if cfg.DiskCrash {
+		// With the block layer modeled, land the burst at a seeded point
+		// INSIDE the application's request cycle instead of at the post-warmup
+		// idle. Corruption manifests at a function's first post-injection
+		// execution, so injecting into a drained machine pins the crash to the
+		// first syscall after idle — and no crash could ever catch a write
+		// acknowledged but not yet synced. Queuing work and advancing a seeded
+		// number of quanta first lets the crash land on any write/fsync
+		// boundary, which is the whole point of auditing on-disk state.
+		r := sim.NewRNG(cfg.Seed ^ 0x0B10CF7A)
+		d.Pump(m, 24)
+		m.Run(1 + r.Intn(120))
+	}
 	if _, err := inj.InjectBurst(m.K, cfg.FaultsPerRun); err != nil {
 		return Result{Outcome: OutcomeResurrectFailure, ResurrectErr: err,
 			Detail: newDetail(StageSetup, "", err.Error(), nil, nil)}
+	}
+	if cfg.DiskCrash {
+		// Schedule the crash's block-layer consequences alongside the
+		// memory faults; they fire when the kernel actually goes down.
+		inj.ArmDiskCrash(m.K, m.DiskModel())
 	}
 
 	// Run until a failure manifests; several pump rounds bound the run.
@@ -245,6 +323,9 @@ func runBody(cfg Config, mp **core.Machine) Result {
 			Detail: newDetail(StageNoFault, "", "injected faults never manifested", tr, nil)}
 	}
 	out := Result{Panic: res.Panic}
+	if cfg.Baseline {
+		return runBaseline(m, d, out)
+	}
 
 	fo, err := m.HandleFailure()
 	if fo != nil {
@@ -254,12 +335,14 @@ func runBody(cfg Config, mp **core.Machine) Result {
 		out.Outcome = OutcomeBootFailure
 		out.TransferReason = err.Error()
 		out.Detail = newDetail(StageTransfer, "", err.Error(), out.Trace, res.Panic)
+		checkData(m, d, &out)
 		return out
 	}
 	if fo.Result != core.ResultRecovered {
 		out.Outcome = OutcomeBootFailure
 		out.TransferReason = fo.Transfer.Reason
 		out.Detail = newDetail(StageTransfer, "", fo.Transfer.Reason, out.Trace, res.Panic)
+		checkData(m, d, &out)
 		return out
 	}
 	// Recovery happened: record the outage under both schedule models. Both
@@ -283,6 +366,7 @@ func runBody(cfg Config, mp **core.Machine) Result {
 				out.Outcome = OutcomeDataCorruption
 				out.VerifyErr = fmt.Errorf("crash procedure found state corrupted and gave up")
 				out.Detail = newDetail(StageVerify, failedPhase(pr), out.VerifyErr.Error(), out.Trace, res.Panic)
+				checkData(m, d, &out)
 				return out
 			}
 			out.Outcome = OutcomeResurrectFailure
@@ -293,6 +377,7 @@ func runBody(cfg Config, mp **core.Machine) Result {
 				reason = pr.Err.Error()
 			}
 			out.Detail = newDetail(StageResurrect, failedPhase(pr), reason, out.Trace, res.Panic)
+			checkData(m, d, &out)
 			return out
 		}
 	}
@@ -302,6 +387,7 @@ func runBody(cfg Config, mp **core.Machine) Result {
 		out.StructCorruption = true
 		out.Detail = newDetail(StageResurrect, resurrect.PhaseParse.String(),
 			out.ResurrectErr.Error(), out.Trace, res.Panic)
+		checkData(m, d, &out)
 		return out
 	}
 
@@ -309,6 +395,7 @@ func runBody(cfg Config, mp **core.Machine) Result {
 		out.Outcome = OutcomeResurrectFailure
 		out.ResurrectErr = err
 		out.Detail = newDetail(StageWorkload, "", err.Error(), out.Trace, res.Panic)
+		checkData(m, d, &out)
 		return out
 	}
 	post := workload.RunUntilIdle(m, d, 60, 2400)
@@ -318,6 +405,7 @@ func runBody(cfg Config, mp **core.Machine) Result {
 		out.Outcome = OutcomeResurrectFailure
 		out.ResurrectErr = post.Panic
 		out.Detail = newDetail(StageWorkload, "", post.Panic.Error(), out.Trace, res.Panic)
+		checkData(m, d, &out)
 		return out
 	}
 	out.AckedOps = d.Acked()
@@ -325,6 +413,81 @@ func runBody(cfg Config, mp **core.Machine) Result {
 		out.Outcome = OutcomeDataCorruption
 		out.VerifyErr = err
 		out.Detail = newDetail(StageVerify, "", err.Error(), out.Trace, res.Panic)
+		checkData(m, d, &out)
+		return out
+	}
+	checkData(m, d, &out)
+	if out.DataErr != nil {
+		// The process came back and its in-memory state verified, but the
+		// platter broke a recovery invariant: that is data corruption an
+		// application restart would inherit.
+		out.Outcome = OutcomeDataCorruption
+		out.VerifyErr = out.DataErr
+		out.Detail = newDetail(StageVerify, "", out.DataErr.Error(), out.Trace, res.Panic)
+		return out
+	}
+	out.Outcome = OutcomeSuccess
+	return out
+}
+
+// checkData audits the application's on-disk state against its recovery
+// invariants, when the driver supports it. It runs on every post-crash exit
+// path — the platter can be checked even when the process did not survive.
+func checkData(m *core.Machine, d workload.Driver, out *Result) {
+	ck, ok := d.(workload.DataInvariantChecker)
+	if !ok {
+		return
+	}
+	out.DataChecked = true
+	out.DataErr = ck.CheckDataInvariants(m)
+}
+
+// runBaseline is the no-Otherworld control: the kernel failure cold-reboots
+// the machine (the disk taking its crash consequences with every dirty page
+// orphaned), and the workload restarts the application from whatever the
+// platter holds — comparing "just reboot" recovery against resurrection.
+func runBaseline(m *core.Machine, d workload.Driver, out Result) Result {
+	if _, err := m.CrashDiskForReboot(); err != nil {
+		out.Outcome = OutcomeBootFailure
+		out.TransferReason = err.Error()
+		out.Detail = newDetail(StageTransfer, "", err.Error(), nil, out.Panic)
+		checkData(m, d, &out)
+		return out
+	}
+	if err := m.ColdReboot(); err != nil {
+		out.Outcome = OutcomeBootFailure
+		out.TransferReason = err.Error()
+		out.Detail = newDetail(StageTransfer, "", err.Error(), nil, out.Panic)
+		checkData(m, d, &out)
+		return out
+	}
+	if err := d.Reattach(m); err != nil {
+		out.Outcome = OutcomeResurrectFailure
+		out.ResurrectErr = err
+		out.Detail = newDetail(StageWorkload, "", err.Error(), nil, out.Panic)
+		checkData(m, d, &out)
+		return out
+	}
+	post := workload.RunUntilIdle(m, d, 60, 2400)
+	if post.Panic != nil {
+		out.Outcome = OutcomeResurrectFailure
+		out.ResurrectErr = post.Panic
+		out.Detail = newDetail(StageWorkload, "", post.Panic.Error(), nil, out.Panic)
+		checkData(m, d, &out)
+		return out
+	}
+	out.AckedOps = d.Acked()
+	checkData(m, d, &out)
+	if err := d.Verify(m); err != nil {
+		out.Outcome = OutcomeDataCorruption
+		out.VerifyErr = err
+		out.Detail = newDetail(StageVerify, "", err.Error(), nil, out.Panic)
+		return out
+	}
+	if out.DataErr != nil {
+		out.Outcome = OutcomeDataCorruption
+		out.VerifyErr = out.DataErr
+		out.Detail = newDetail(StageVerify, "", out.DataErr.Error(), nil, out.Panic)
 		return out
 	}
 	out.Outcome = OutcomeSuccess

@@ -1,0 +1,10 @@
+//go:build race
+
+package experiment
+
+// raceEnabled reports whether the race detector is compiled in. The heavy
+// campaign tests scale down under it — the detector needs the pool and the
+// crash model exercised, not the full rerun/width determinism matrix, and
+// the ~10x slowdown would blow the package test timeout otherwise. The
+// determinism matrix always runs in the race-free `make test` pass.
+const raceEnabled = true

@@ -16,6 +16,7 @@ package faultinject
 import (
 	"fmt"
 
+	"otherworld/internal/disk"
 	"otherworld/internal/kernel"
 	"otherworld/internal/phys"
 	"otherworld/internal/sim"
@@ -35,6 +36,15 @@ const (
 	// ClassTextOperand corrupts one byte of an instruction operand
 	// (modelled as a text byte at an odd offset with a larger delta).
 	ClassTextOperand
+	// ClassDiskTear schedules a torn in-flight sector write on the
+	// block-layer crash model at kernel-crash time.
+	ClassDiskTear
+	// ClassDiskRollback schedules a volatile write-cache rollback: recently
+	// acked block writes are lost with the drive's RAM.
+	ClassDiskRollback
+	// ClassDiskOrphan schedules an undefined-order flush of the dirty
+	// page-cache pages no surviving kernel rescues after the crash.
+	ClassDiskOrphan
 )
 
 func (c Class) String() string {
@@ -45,6 +55,12 @@ func (c Class) String() string {
 		return "text-instruction"
 	case ClassTextOperand:
 		return "text-operand"
+	case ClassDiskTear:
+		return "disk-tear"
+	case ClassDiskRollback:
+		return "disk-rollback"
+	case ClassDiskOrphan:
+		return "disk-orphan"
 	}
 	return fmt.Sprintf("Class(%d)", int(c))
 }
@@ -99,6 +115,47 @@ func (in *Injector) InjectOne(k *kernel.Kernel) (Fault, error) {
 		})
 	}
 	return f, err
+}
+
+// ArmDiskCrash schedules block-layer crash faults on the machine's crash
+// model: each class arms on an independent seeded roll, and armed classes
+// leave the same flight-recorder breadcrumbs as memory faults (with Addr 0
+// — the fault site is the drive, not kernel memory). Unlike InjectOne the
+// faults do not corrupt kernel state now; they fire at the moment the
+// kernel crashes. It draws from the injector's stream, so callers that
+// enable the disk model get a schedule disjoint from the classic one, and
+// callers that do not are bit-for-bit unperturbed.
+func (in *Injector) ArmDiskCrash(k *kernel.Kernel, m *disk.CrashModel) []Fault {
+	if m == nil {
+		return nil
+	}
+	tear := in.rng.Chance(0.6)
+	rollback := in.rng.Chance(0.6)
+	orphan := in.rng.Chance(0.8)
+	m.Arm(tear, rollback, orphan)
+	classes := []struct {
+		on    bool
+		class Class
+	}{
+		{tear, ClassDiskTear},
+		{rollback, ClassDiskRollback},
+		{orphan, ClassDiskOrphan},
+	}
+	var faults []Fault
+	for _, c := range classes {
+		if !c.on {
+			continue
+		}
+		faults = append(faults, Fault{Class: c.class})
+		if k.Tracer != nil {
+			k.Tracer.Record(trace.Event{
+				Kind: trace.KindFaultInject,
+				A:    uint64(c.class),
+				Note: c.class.String(),
+			})
+		}
+	}
+	return faults
 }
 
 // InjectBurst applies n faults (the paper injects 30 at a time).

@@ -303,7 +303,7 @@ func (k *Kernel) flushFile(rec *layout.FileRec, recAddr uint64) error {
 			if rerr := k.M.Mem.ReadAt(cp.Frame*phys.PageSize, buf); rerr != nil {
 				return k.oopsf(OopsBadPageTable, "page cache frame read: %v", rerr)
 			}
-			if _, werr := k.FS.WriteAt(rec.Path, int64(cp.FileOff), buf, true); werr != nil {
+			if _, werr := k.diskWrite(rec.Path, int64(cp.FileOff), buf); werr != nil {
 				return werr
 			}
 			k.M.Clock.Advance(k.cost.DiskWriteCost(int64(cp.Bytes)))
@@ -315,6 +315,16 @@ func (k *Kernel) flushFile(rec *layout.FileRec, recAddr uint64) error {
 		cur = cp.Next
 	}
 	return nil
+}
+
+// diskWrite issues one page-cache flush to the block layer: through the
+// crash model when one is attached — where it stays volatile until a
+// barrier — or directly to the platter otherwise.
+func (k *Kernel) diskWrite(path string, off int64, buf []byte) (int, error) {
+	if k.Disk != nil {
+		return k.Disk.Write(path, off, buf)
+	}
+	return k.FS.WriteAt(path, off, buf, true)
 }
 
 // freeCachePages releases a closed file's cache frames and records.

@@ -152,6 +152,13 @@ type Kernel struct {
 	swap      *disk.SwapDevice
 	terminals map[uint32]*ttyRuntime
 
+	// Disk is the block-layer crash model beneath the page cache. When
+	// set, every page-cache flush routes through it (volatile until a
+	// barrier) and fsync issues the barrier; nil means writes reach the
+	// platter directly and durably, the pre-model behavior. It is machine
+	// state — core attaches the same model to every kernel generation.
+	Disk *disk.CrashModel
+
 	rng  *sim.RNG
 	cost sim.CostModel
 

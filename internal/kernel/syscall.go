@@ -208,15 +208,23 @@ func (e *Env) WriteFile(fd uint32, data []byte) (n int, err error) {
 	return n, err
 }
 
-// Fsync flushes the descriptor's dirty cache pages to disk.
+// Fsync flushes the descriptor's dirty cache pages to disk and issues the
+// block-layer barrier: only after it returns are the bytes durable against
+// the crash model's write-cache rollback. (Close flushes without a barrier,
+// exactly the volatile window real drives leave open.)
 func (e *Env) Fsync(fd uint32) error {
 	return e.K.syscall(e.P, SysNoFsync, FuncReadWrite, func() error {
 		rec, addr, err := e.K.lookupFile(e.P, fd)
 		if err != nil {
 			return err
 		}
-		_ = addr
-		return e.K.flushFile(rec, addr)
+		if err := e.K.flushFile(rec, addr); err != nil {
+			return err
+		}
+		if e.K.Disk != nil {
+			e.K.Disk.Barrier()
+		}
+		return nil
 	})
 }
 

@@ -233,9 +233,21 @@ type ProcReport struct {
 	// queue merged them into (one modeled seek each).
 	DirtyFlushed int
 	FlushExtents int
+	// FlushedPages identifies the dirty page-cache pages this candidate's
+	// install wrote back, for the block-layer crash model's orphan
+	// accounting: a dead-kernel dirty page resurrection flushed is no
+	// orphan. Excluded from Fingerprint — DirtyFlushed/FlushExtents
+	// already pin the flush — so the handoff cannot perturb goldens.
+	FlushedPages []FlushedPage
 	// Timeline records the phases this resurrection went through, with
 	// per-phase byte/page counters and the failure (if any) in place.
 	Timeline Timeline
+}
+
+// FlushedPage names one dirty page-cache page the install flushed.
+type FlushedPage struct {
+	Path string
+	Off  int64
 }
 
 // Report is the whole resurrection pass.

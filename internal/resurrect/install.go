@@ -68,7 +68,15 @@ func (e *Engine) installOne(pl *plan) ProcReport {
 		var wq disk.WriteQueue
 		for _, fp := range pl.files {
 			for _, dp := range fp.dirty {
-				wq.Enqueue(fp.rec.Path, int64(dp.off), dp.data)
+				if qerr := wq.Enqueue(fp.rec.Path, int64(dp.off), dp.data); qerr != nil {
+					// A malformed extent means the dead kernel's cache-page
+					// record lied about its geometry: degrade the candidate
+					// the way any corrupt file record does.
+					return &layout.CorruptionError{Want: layout.TypeCachePage,
+						Reason: qerr.Error()}
+				}
+				pr.FlushedPages = append(pr.FlushedPages,
+					FlushedPage{Path: fp.rec.Path, Off: int64(dp.off)})
 				flushed++
 			}
 		}

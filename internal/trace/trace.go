@@ -77,12 +77,17 @@ const (
 	// (the worker ledger offset), A = the resurrect.Phase, B = bytes read
 	// in that phase, Note = the phase name.
 	KindResurrect
+	// KindDiskCrash records the block-layer crash model firing at a kernel
+	// failure (A = rolled-back writes, B = orphan pages flushed, Note = the
+	// crash report summary). Recorded on the new kernel's ring: the dead
+	// ring is already being salvaged when the model fires.
+	KindDiskCrash
 	kindMax
 )
 
 var kindNames = [...]string{
 	"invalid", "boot", "sched", "counters",
-	"fault-inject", "fault-manifest", "panic", "resurrect",
+	"fault-inject", "fault-manifest", "panic", "resurrect", "disk-crash",
 }
 
 func (k Kind) String() string {

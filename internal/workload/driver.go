@@ -35,6 +35,14 @@ type Driver interface {
 	Verify(m *core.Machine) error
 }
 
+// DataInvariantChecker is implemented by drivers that can audit the
+// on-disk state of their application after a crash — the "data survived"
+// column of the Table 5-style report. Verify checks the live process;
+// CheckDataInvariants checks the platter.
+type DataInvariantChecker interface {
+	CheckDataInvariants(m *core.Machine) error
+}
+
 // FindProc locates the (live) process running the given program on the
 // current kernel. Resurrection and restarts change PIDs, so drivers always
 // re-resolve.
