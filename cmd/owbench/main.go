@@ -32,6 +32,7 @@ import (
 	"otherworld/internal/kernel"
 	"otherworld/internal/metrics"
 	"otherworld/internal/resurrect"
+	"otherworld/internal/spans"
 )
 
 func main() {
@@ -230,8 +231,12 @@ func fatal(err error) {
 // non-page-multiple regions no longer overcount); /5 adds the WAL
 // data-survival entry (wal-survival/walkv): both WAL protocol variants run
 // under the block-layer crash model with cold-reboot recovery, reporting
-// post-crash disk audits and recovery-invariant violations per variant.
-// readSnapshot accepts all five, so older checked-in BENCH_N.json baselines
+// post-crash disk audits and recovery-invariant violations per variant; /6
+// adds the span-plane percentile layer: interruption p50/p95/p99 on the
+// campaign entries (nearest-rank over successful recoveries, serial model)
+// and first-touch stall percentiles on the lazy resurrection and table6
+// entries.
+// readSnapshot accepts all six, so older checked-in BENCH_N.json baselines
 // stay readable.
 const (
 	benchSchemaV1 = "otherworld-bench/1"
@@ -239,6 +244,7 @@ const (
 	benchSchemaV3 = "otherworld-bench/3"
 	benchSchemaV4 = "otherworld-bench/4"
 	benchSchemaV5 = "otherworld-bench/5"
+	benchSchemaV6 = "otherworld-bench/6"
 )
 
 type benchSnapshot struct {
@@ -271,7 +277,7 @@ func readSnapshot(data []byte) (*benchSnapshot, error) {
 		return nil, err
 	}
 	switch s.Schema {
-	case benchSchemaV1, benchSchemaV2, benchSchemaV3, benchSchemaV4, benchSchemaV5:
+	case benchSchemaV1, benchSchemaV2, benchSchemaV3, benchSchemaV4, benchSchemaV5, benchSchemaV6:
 		return &s, nil
 	default:
 		return nil, fmt.Errorf("unknown bench snapshot schema %q", s.Schema)
@@ -329,17 +335,18 @@ func benchSnapshotMode(jsonPath string, seed int64, resWorkers, campaignWorkers 
 // separately for -metrics.
 func buildSnapshot(seed int64, resWorkers, campaignWorkers int) (*benchSnapshot, *metrics.Snapshot, error) {
 	snap := &benchSnapshot{
-		Schema:           benchSchemaV5,
+		Schema:           benchSchemaV6,
 		Seed:             seed,
 		ResurrectWorkers: resWorkers,
 		CanonicalWorkers: resurrect.CanonicalWorkers,
 		CampaignWorkers:  campaignWorkers,
 	}
 
-	rep, m, err := multiMySQLRecovery(seed, resWorkers, false)
+	fo, m, err := experiment.MultiMySQLRecovery(seed, resWorkers, false)
 	if err != nil {
 		return nil, nil, fmt.Errorf("resurrect-parallel scenario: %w", err)
 	}
+	rep := fo.Report
 	par := benchEntry{Name: "resurrect-parallel/mysql-x8", Metrics: map[string]float64{
 		"serial-s": rep.Duration.Seconds(),
 	}}
@@ -370,10 +377,11 @@ func buildSnapshot(seed int64, resWorkers, campaignWorkers int) (*benchSnapshot,
 	// install, so the eager-vs-lazy collapse is quoted side by side with the
 	// entry above. The speculated-page count proves the run actually
 	// deferred its copies instead of finding nothing to speculate.
-	lrep, _, err := multiMySQLRecovery(seed, resWorkers, true)
+	lfo, _, err := experiment.MultiMySQLRecovery(seed, resWorkers, true)
 	if err != nil {
 		return nil, nil, fmt.Errorf("resurrect-lazy scenario: %w", err)
 	}
+	lrep := lfo.Report
 	lazy := benchEntry{Name: "resurrect-lazy/mysql-x8", Metrics: map[string]float64{
 		"serial-s": lrep.Duration.Seconds(),
 	}}
@@ -388,6 +396,11 @@ func buildSnapshot(seed int64, resWorkers, campaignWorkers int) (*benchSnapshot,
 	if lrep.Duration > 0 {
 		lazy.Metrics["collapse-x"] = rep.Duration.Seconds() / lrep.Duration.Seconds()
 	}
+	// Schema /6: the demand-fault stall distribution the lazy run observed.
+	lazy.Metrics["first-touch-n"] = float64(len(lrep.FirstTouch))
+	lazy.Metrics["first-touch-p50-us"] = float64(spans.Percentile(lrep.FirstTouch, 50).Microseconds())
+	lazy.Metrics["first-touch-p95-us"] = float64(spans.Percentile(lrep.FirstTouch, 95).Microseconds())
+	lazy.Metrics["first-touch-p99-us"] = float64(spans.Percentile(lrep.FirstTouch, 99).Microseconds())
 	snap.Benchmarks = append(snap.Benchmarks, lazy)
 
 	// The campaign-pool sweep (schema /3): a small real vi campaign, its
@@ -398,7 +411,7 @@ func buildSnapshot(seed int64, resWorkers, campaignWorkers int) (*benchSnapshot,
 	ccfg.Apps = []string{"vi"}
 	ccfg.CampaignWorkers = campaignWorkers
 	ccfg.ResurrectWorkers = resWorkers
-	_, cstats := experiment.RunTable5Campaign(ccfg)
+	crows, cstats := experiment.RunTable5Campaign(ccfg)
 	camp := benchEntry{Name: "campaign-parallel/vi", Metrics: map[string]float64{
 		"serial-s":     cstats.SerialMakespan.Seconds(),
 		"experiments":  float64(cstats.Experiments),
@@ -407,6 +420,16 @@ func buildSnapshot(seed int64, resWorkers, campaignWorkers int) (*benchSnapshot,
 	for _, w := range []int{1, 2, 4, 8} {
 		camp.Metrics[fmt.Sprintf("sched-%dw-s", w)] = cstats.ScheduleAt(w).Seconds()
 		camp.Metrics[fmt.Sprintf("speedup-%dw-x", w)] = cstats.SpeedupAt(w)
+	}
+	// Schema /6: serial-model interruption percentiles over the campaign's
+	// successful recoveries (the Table5Row percentile columns).
+	for _, r := range crows {
+		if r.App != "vi" {
+			continue
+		}
+		camp.Metrics["interruption-p50-s"] = r.P50Interruption.Seconds()
+		camp.Metrics["interruption-p95-s"] = r.P95Interruption.Seconds()
+		camp.Metrics["interruption-p99-s"] = r.P99Interruption.Seconds()
 	}
 	snap.Benchmarks = append(snap.Benchmarks, camp)
 
@@ -450,6 +473,11 @@ func buildSnapshot(seed int64, resWorkers, campaignWorkers int) (*benchSnapshot,
 				"interruption-parallel-s":      r.ParallelInterruption.Seconds(),
 				"interruption-lazy-serial-s":   r.LazyInterruption.Seconds(),
 				"interruption-lazy-parallel-s": r.LazyParallelInterruption.Seconds(),
+				// Schema /6: the lazy run's first-touch stall percentiles.
+				"first-touch-n":      float64(r.FirstTouchSamples),
+				"first-touch-p50-us": float64(r.P50FirstTouch.Microseconds()),
+				"first-touch-p95-us": float64(r.P95FirstTouch.Microseconds()),
+				"first-touch-p99-us": float64(r.P99FirstTouch.Microseconds()),
 			},
 		})
 	}
@@ -459,50 +487,6 @@ func buildSnapshot(seed int64, resWorkers, campaignWorkers int) (*benchSnapshot,
 	embedded.LogicalNowNS = 0 // worker-schedule-dependent; see the field doc
 	snap.Metrics = &embedded
 	return snap, msnap, nil
-}
-
-// multiMySQLRecovery crashes a machine running eight MySQL servers and
-// returns the resurrection report plus the recovered machine (its registry
-// now holds the full crash-and-resurrect trajectory) — the same scenario
-// as BenchmarkResurrectParallel in bench_test.go, warmed with real client
-// traffic first. The warm-up matters for the fast-path counters: serving
-// requests demand-faults each server's row arena (~70 pages, almost all
-// still zero), so the resurrection scan sees the zero-elision and dedup
-// opportunities a freshly-booted idle server would not expose. lazy runs
-// the demand-paged install (validated speculation) instead of the eager
-// full-copy.
-func multiMySQLRecovery(seed int64, resWorkers int, lazy bool) (*resurrect.Report, *core.Machine, error) {
-	opts := core.DefaultOptions()
-	opts.HW = hw.Config{MemoryBytes: 256 << 20, NumCPUs: 2, TLBEntries: 64, WatchdogEnabled: true}
-	opts.CrashRegionMB = 16
-	opts.Seed = seed
-	opts.Resurrection.Workers = resWorkers
-	opts.LazyInstall = lazy
-	m, err := core.NewMachine(opts)
-	if err != nil {
-		return nil, nil, err
-	}
-	for j := 0; j < 8; j++ {
-		if _, err := m.Start(fmt.Sprintf("mysqld-%d", j), apps.ProgMySQL); err != nil {
-			return nil, nil, err
-		}
-	}
-	// The servers share the listen port; the deterministic scheduler spreads
-	// the queued inserts round-robin, so every server handles traffic.
-	for i := 0; i < 96; i++ {
-		m.Net.Deliver(apps.MySQLPort, []byte(fmt.Sprintf("I %d warm-%04d", i+1, i)))
-	}
-	m.Run(600)
-	//owvet:allow errdrop: InjectOops always returns the injected panic; recovery is checked below
-	_ = m.K.InjectOops("bench snapshot")
-	out, err := m.HandleFailure()
-	if err != nil {
-		return nil, nil, err
-	}
-	if out.Result != core.ResultRecovered {
-		return nil, nil, fmt.Errorf("transfer failed: %s", out.Transfer.Reason)
-	}
-	return out.Report, m, nil
 }
 
 // benchDiffMode rebuilds the bench snapshot in-process with the baseline's

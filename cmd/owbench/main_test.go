@@ -145,13 +145,54 @@ func TestReadSnapshotCompatV4(t *testing.T) {
 	}
 }
 
-// TestBuildSnapshotV5 runs the real bench scenario once and checks the /5
-// shape: the /2–/4 fields are still there (embedded metrics, normalized
+// TestReadSnapshotCompatV5 pins the /5 shape: the wal-survival entry is
+// present but none of the /6 span-plane percentile metrics are. Files
+// written by the previous binary must keep decoding (and keep driving
+// -bench-diff) after the bump to /6.
+func TestReadSnapshotCompatV5(t *testing.T) {
+	v5 := []byte(`{
+		"schema": "otherworld-bench/5",
+		"seed": 20100413,
+		"resurrect_workers": 2,
+		"canonical_workers": 4,
+		"campaign_workers": 4,
+		"benchmarks": [
+			{"name": "resurrect-lazy/mysql-x8",
+			 "metrics": {"serial-s": 9.5, "pages-speculated": 900, "collapse-x": 6.0}},
+			{"name": "wal-survival/walkv",
+			 "metrics": {"audits-fixed": 24, "audits-buggy": 24,
+			             "violations-fixed": 0, "violations-buggy": 5, "serial-s": 3.0}}
+		]
+	}`)
+	s, err := readSnapshot(v5)
+	if err != nil {
+		t.Fatalf("v5 snapshot no longer decodes: %v", err)
+	}
+	if s.Schema != benchSchemaV5 {
+		t.Fatalf("schema = %q, want %q", s.Schema, benchSchemaV5)
+	}
+	var sawWAL bool
+	for _, b := range s.Benchmarks {
+		if b.Name == "wal-survival/walkv" {
+			sawWAL = true
+		}
+		if _, grew := b.Metrics["first-touch-p99-us"]; grew {
+			t.Fatalf("v5 file grew a /6 metric on decode: %+v", b)
+		}
+	}
+	if !sawWAL {
+		t.Fatalf("v5 payload mangled: no wal-survival entry in %d benchmarks", len(s.Benchmarks))
+	}
+}
+
+// TestBuildSnapshotV6 runs the real bench scenario once and checks the /6
+// shape: the /2–/5 fields are still there (embedded metrics, normalized
 // logical stamp, fast-path counters, campaign sweep, demand-paged entry with
-// the eager-vs-lazy interruption collapse), the saved-bytes figure is the
-// actual bytes avoided (bounded by the page-granular estimate), and the new
-// WAL data-survival entry audits both protocol variants.
-func TestBuildSnapshotV5(t *testing.T) {
+// the eager-vs-lazy interruption collapse, WAL data-survival audits), the
+// saved-bytes figure is the actual bytes avoided (bounded by the
+// page-granular estimate), and the new span-plane percentile layer reports
+// first-touch stall and campaign interruption distributions.
+func TestBuildSnapshotV6(t *testing.T) {
 	if testing.Short() {
 		t.Skip("bench scenario in -short mode")
 	}
@@ -159,7 +200,7 @@ func TestBuildSnapshotV5(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if snap.Schema != benchSchemaV5 {
+	if snap.Schema != benchSchemaV6 {
 		t.Fatalf("schema = %q", snap.Schema)
 	}
 	if len(snap.Benchmarks) == 0 {
@@ -210,6 +251,17 @@ func TestBuildSnapshotV5(t *testing.T) {
 		t.Fatalf("eager/lazy interruption collapse = %.2fx, want >= 5x (eager %vs, lazy %vs)",
 			lazy["collapse-x"], res["serial-s"], lazy["serial-s"])
 	}
+	// Schema /6: first-touch stall percentiles on the lazy entry must be
+	// populated and ordered.
+	if lazy["first-touch-n"] <= 0 {
+		t.Fatalf("lazy entry has no first-touch samples: %+v", lazy)
+	}
+	if !(lazy["first-touch-p50-us"] > 0 &&
+		lazy["first-touch-p50-us"] <= lazy["first-touch-p95-us"] &&
+		lazy["first-touch-p95-us"] <= lazy["first-touch-p99-us"]) {
+		t.Fatalf("first-touch percentiles out of order: p50=%v p95=%v p99=%v",
+			lazy["first-touch-p50-us"], lazy["first-touch-p95-us"], lazy["first-touch-p99-us"])
+	}
 	camp := byName["campaign-parallel/vi"]
 	if camp == nil {
 		t.Fatal("campaign-parallel/vi entry missing")
@@ -226,6 +278,13 @@ func TestBuildSnapshotV5(t *testing.T) {
 	}
 	if camp["speedup-4w-x"] < 2 {
 		t.Fatalf("speedup-4w-x = %v, want >= 2", camp["speedup-4w-x"])
+	}
+	// Schema /6: campaign interruption percentiles must be populated,
+	// ordered, and consistent with the mean column.
+	if !(camp["interruption-p50-s"] > 0 &&
+		camp["interruption-p50-s"] <= camp["interruption-p95-s"] &&
+		camp["interruption-p95-s"] <= camp["interruption-p99-s"]) {
+		t.Fatalf("campaign interruption percentiles out of order: %+v", camp)
 	}
 	wal := byName["wal-survival/walkv"]
 	if wal == nil {

@@ -108,6 +108,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, "owcampaign: warning: undershoot:", w)
 	}
 
+	// Interruption distribution per application (serial model and the
+	// parallel schedule at the canonical width), nearest-rank percentiles
+	// over successful recoveries — the span-plane aggregation layer.
+	fmt.Println("\ninterruption percentiles (p50/p95/p99, serial | parallel):")
+	for _, row := range rows {
+		fmt.Printf("  %-12s %v/%v/%v | %v/%v/%v",
+			row.App,
+			row.P50Interruption.Round(time.Millisecond),
+			row.P95Interruption.Round(time.Millisecond),
+			row.P99Interruption.Round(time.Millisecond),
+			row.P50ParallelInterruption.Round(time.Millisecond),
+			row.P95ParallelInterruption.Round(time.Millisecond),
+			row.P99ParallelInterruption.Round(time.Millisecond))
+		if row.FirstTouchSamples > 0 {
+			fmt.Printf("   first-touch n=%d p50=%v p95=%v p99=%v",
+				row.FirstTouchSamples, row.P50FirstTouch, row.P95FirstTouch, row.P99FirstTouch)
+		}
+		fmt.Println()
+	}
+
 	faulted, discarded, structCorrupt := experiment.Totals(rows)
 	fmt.Printf("\n%d faulted experiments; %d injections caused no kernel failure and were discarded (%.0f%%)\n",
 		faulted, discarded, 100*float64(discarded)/float64(faulted+discarded))

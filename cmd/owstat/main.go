@@ -22,7 +22,9 @@ import (
 	"os"
 
 	"otherworld/internal/dump"
+	"otherworld/internal/experiment"
 	"otherworld/internal/metrics"
+	"otherworld/internal/spans"
 )
 
 func main() {
@@ -46,6 +48,8 @@ func run(args []string, out, errw io.Writer) int {
 		}
 	case "recover":
 		err = cmdRecover(args[1:], out)
+	case "timeline":
+		err = cmdTimeline(args[1:], out)
 	case "-h", "-help", "--help", "help":
 		usage(out)
 		return 0
@@ -67,6 +71,11 @@ func usage(w io.Writer) {
   owstat render [-prom] snapshot.json     render a snapshot (table or Prometheus text)
   owstat diff old.json new.json           per-metric deltas; exit 1 when they differ
   owstat recover [-prom] [-json f] vmcore recover the metrics segment from a raw dump
+  owstat timeline [-app NAME] [-seed N] [-lazy] [-resurrect-workers N]
+                  [-analysis-workers N] [-perfetto f]
+                                          run a crash-and-resurrect scenario and print
+                                          its causal span tree; -perfetto also writes
+                                          Chrome trace-event JSON loadable in Perfetto
 `)
 }
 
@@ -124,6 +133,72 @@ func cmdDiff(args []string, out io.Writer) (differ bool, err error) {
 		return false, err
 	}
 	return len(d.Deltas) > 0, nil
+}
+
+// cmdTimeline runs a deterministic crash-and-resurrect scenario and prints
+// the reconstructed causal span tree (and optionally the Perfetto JSON).
+// The default scenario is the warmed 8xMySQL recovery the bench snapshot
+// measures; -app substitutes any Table 5 application via a single faulted
+// experiment. Both are pure functions of the seed, so the printed tree is
+// bit-identical at any live resurrect-worker width.
+func cmdTimeline(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("timeline", flag.ContinueOnError)
+	app := fs.String("app", "mysql-x8", "scenario: mysql-x8 (warmed 8xMySQL crash) or a Table 5 application name")
+	seed := fs.Int64("seed", 20100413, "seed")
+	lazy := fs.Bool("lazy", false, "demand-paged resurrection install")
+	resWorkers := fs.Int("resurrect-workers", 0, "live resurrection pool width (0 = NumCPU); cannot change the tree")
+	analysisWorkers := fs.Int("analysis-workers", 0, "critical-path analysis width (0 = canonical)")
+	perfetto := fs.String("perfetto", "", "also write Chrome trace-event JSON (Perfetto-loadable) to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("timeline: unexpected arguments %v", fs.Args())
+	}
+
+	var tree *spans.Tree
+	if *app == "mysql-x8" {
+		fo, m, err := experiment.MultiMySQLRecovery(*seed, *resWorkers, *lazy)
+		if err != nil {
+			return fmt.Errorf("timeline: %w", err)
+		}
+		tree, err = experiment.SpanTreeFor(m, fo, *app, *seed, *lazy, *analysisWorkers)
+		if err != nil {
+			return fmt.Errorf("timeline: %w", err)
+		}
+	} else {
+		cfg := experiment.DefaultConfig(*app, *seed)
+		cfg.ResurrectWorkers = *resWorkers
+		cfg.LazyInstall = *lazy
+		cfg.BuildSpans = true
+		res := experiment.Run(cfg)
+		if res.Spans == nil {
+			return fmt.Errorf("timeline: experiment did not recover (outcome %v); try another -seed", res.Outcome)
+		}
+		tree = res.Spans
+		if *analysisWorkers > 0 && *analysisWorkers != tree.Workers {
+			return fmt.Errorf("timeline: -analysis-workers applies to the mysql-x8 scenario; experiment trees analyze at the canonical width %d", tree.Workers)
+		}
+	}
+
+	if _, err := io.WriteString(out, tree.Render()); err != nil {
+		return err
+	}
+	if *perfetto != "" {
+		f, err := os.Create(*perfetto)
+		if err != nil {
+			return err
+		}
+		if err := tree.WriteTraceEvents(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "perfetto trace written to", *perfetto)
+	}
+	return nil
 }
 
 func cmdRecover(args []string, out io.Writer) error {

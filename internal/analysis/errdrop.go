@@ -6,24 +6,28 @@ import (
 )
 
 // ErrDrop forbids silently discarding errors returned by the simulation
-// substrate — the physical-memory, record-layout and disk packages. Those
-// errors are how modeled corruption announces itself (ErrOutOfRange,
-// ProtectionFault, CorruptionError, bad-sector reads); dropping one
-// converts an injected fault into a silently wrong result instead of a
-// detected failure, which would invalidate every campaign table built on
-// top. Flagged forms: a bare call statement, `_ =` assignments, blank
+// substrate — the physical-memory, record-layout and disk packages — and by
+// the causal span plane (package spans, including its Perfetto exporter).
+// Substrate errors are how modeled corruption announces itself
+// (ErrOutOfRange, ProtectionFault, CorruptionError, bad-sector reads);
+// dropping one converts an injected fault into a silently wrong result
+// instead of a detected failure, which would invalidate every campaign
+// table built on top. Span-plane errors are how a post-mortem
+// reconstruction reports that it could not produce the artifact it was
+// asked for; dropping one ships a timeline that silently is not there.
+// Flagged forms: a bare call statement, `_ =` assignments, blank
 // identifiers in the error slots of multi-value assignments, and go/defer
 // statements whose error can never be observed.
 var ErrDrop = &Analyzer{
 	Name: "errdrop",
-	Doc: "forbid discarding errors from the phys, layout and disk APIs; " +
-		"modeled corruption must surface as a detected failure",
+	Doc: "forbid discarding errors from the phys, layout, disk and spans " +
+		"APIs; modeled corruption must surface as a detected failure",
 	Scope: nil, // whole module
 	Run:   runErrDrop,
 }
 
-// errDropPkgs are the substrate packages whose errors must be handled.
-var errDropPkgs = []string{"internal/phys", "internal/layout", "internal/disk"}
+// errDropPkgs are the packages whose errors must be handled.
+var errDropPkgs = []string{"internal/phys", "internal/layout", "internal/disk", "internal/spans"}
 
 var errorType = types.Universe.Lookup("error").Type()
 

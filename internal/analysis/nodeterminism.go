@@ -7,9 +7,10 @@ import (
 
 // NoDeterminism polices the Section 6 replayability requirement: a campaign
 // table must be reproducible bit-for-bit from its seed. In the packages
-// that feed campaign results (experiment, sim, faultinject, trace, and core
-// with its campaign pool schedule model) and the command-line front-ends,
-// it bans:
+// that feed campaign results (experiment, sim, faultinject, trace, core
+// with its campaign pool schedule model, and spans with the width-pinned
+// span-tree fingerprints and Perfetto exporter) and the command-line
+// front-ends, it bans:
 //
 //   - wall-clock reads (time.Now and friends) — virtual time comes from
 //     sim.Clock;
@@ -24,7 +25,8 @@ var NoDeterminism = &Analyzer{
 		"order-dependent map iteration in campaign-affecting packages",
 	Scope: []string{
 		"internal/experiment", "internal/sim", "internal/faultinject",
-		"internal/trace", "internal/metrics", "internal/core", "cmd",
+		"internal/trace", "internal/metrics", "internal/core",
+		"internal/spans", "cmd",
 	},
 	Run: runNoDeterminism,
 }

@@ -1,0 +1,66 @@
+// Package spans is a stub of the causal span plane, exercising both
+// analyzers that police it: nodeterminism (the span tree is keyed by
+// logical time and its fingerprint is golden-pinned across worker widths,
+// so wall clocks and unsorted map output are banned) and errdrop (a
+// dropped Build or exporter error ships a timeline that silently is not
+// there).
+package spans
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Tree mimics the real span tree.
+type Tree struct {
+	Names map[string]int
+}
+
+// Build mimics the real post-mortem reconstruction entry point.
+func Build(app string) (*Tree, error) {
+	if app == "" {
+		return nil, fmt.Errorf("spans: no application")
+	}
+	return &Tree{}, nil
+}
+
+// WriteTraceEvents mimics the Perfetto exporter.
+func (t *Tree) WriteTraceEvents(w io.Writer) error {
+	_, err := io.WriteString(w, "{}")
+	return err
+}
+
+func wallClockSpanStart() int64 {
+	// A span stamped from the host clock can never replay bit-for-bit.
+	return time.Now().UnixNano() // want `time\.Now reads the wall clock`
+}
+
+func renderUnsorted(t *Tree) {
+	for name, tid := range t.Names { // want `map iteration order feeds fmt output`
+		fmt.Println(name, tid)
+	}
+}
+
+func allowedStopwatch() time.Duration {
+	//owvet:allow nodeterminism: exporter progress stopwatch is display-only, never serialized
+	return time.Since(time.Unix(0, 0))
+}
+
+func dropBuildError(app string) *Tree {
+	t, _ := Build(app) // want `error from Build assigned to the blank identifier`
+	return t
+}
+
+func dropExportStatement(t *Tree, w io.Writer) {
+	t.WriteTraceEvents(w) // want `t\.WriteTraceEvents discards its error`
+}
+
+func handledExport(t *Tree, w io.Writer) error {
+	return t.WriteTraceEvents(w)
+}
+
+func allowedBestEffortExport(t *Tree, w io.Writer) {
+	//owvet:allow errdrop: preview rendering onto a throwaway buffer; the real export path checks
+	_ = t.WriteTraceEvents(w)
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"strings"
+	"time"
 
 	"otherworld/internal/kernel"
 	"otherworld/internal/layout"
@@ -132,7 +133,19 @@ const (
 type WALKV struct {
 	// Buggy selects the commit-before-durable protocol.
 	Buggy bool
+	// txnAppendAt stamps (virtual time) the first record append of the
+	// in-flight transaction, feeding the commit-to-durable latency
+	// histogram when the commit fsync lands on the platter. Observability
+	// only — the recoverable state lives entirely in simulated memory, so
+	// losing this stamp across a crash merely drops that one sample.
+	txnAppendAt time.Duration
+	txnTimed    bool
 }
+
+// walLatencyBounds buckets the commit-to-durable latency histogram
+// (virtual nanoseconds): appends are buffered, so the latency is dominated
+// by the two fsyncs and grows with queued platter writes.
+var walLatencyBounds = []int64{1e3, 1e4, 1e5, 1e6, 1e7, 1e8}
 
 // Boot recovers from the on-disk log, then opens it for appending and
 // binds the client socket. There is no crash procedure: the store's state
@@ -271,6 +284,10 @@ func (s *WALKV) Step(env *kernel.Env) error {
 		if werr := s.appendRecord(env, fd, rec); werr != nil {
 			return werr
 		}
+		if phase == WALPhaseRec1 {
+			s.txnAppendAt = env.K.M.Clock.Now()
+			s.txnTimed = true
+		}
 		next := phase + 1
 		if phase == WALPhaseRec3 && mode == 1 {
 			next = WALPhaseCommit // the bug: no fsync before COMMIT
@@ -290,6 +307,13 @@ func (s *WALKV) Step(env *kernel.Env) error {
 	case WALPhaseSyncCommit:
 		if serr := env.Fsync(fd); serr != nil {
 			return serr
+		}
+		// The commit record is on the platter: the transaction is durable.
+		if s.txnTimed {
+			env.K.Metrics.Histogram("wal_commit_durable_latency_ns",
+				"first record append to commit-record-durable, per transaction",
+				walLatencyBounds, nil).Observe(int64(env.K.M.Clock.Since(s.txnAppendAt)))
+			s.txnTimed = false
 		}
 		return env.WriteU64(walHdrVA+walPhaseOff, WALPhaseAck)
 	case WALPhaseAck:

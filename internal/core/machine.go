@@ -296,6 +296,7 @@ func NewMachine(opts Options) (*Machine, error) {
 		return nil, fmt.Errorf("core: cold boot: %w", err)
 	}
 	k.Disk = m.diskModel
+	k.Metrics = m.metrics
 	m.K = k
 	m.HW.Clock.Advance(m.cost.InitScripts)
 	if err := k.LoadCrashImage(); err != nil {
@@ -479,6 +480,7 @@ func (m *Machine) HandleFailure() (*FailureOutcome, error) {
 		return out, nil
 	}
 	crashK.Disk = m.diskModel
+	crashK.Metrics = m.metrics
 
 	// Crash-kernel-specific startup work and the shared init scripts
 	// (Section 3.2: same scripts, same mounts, the other swap partition).
@@ -654,6 +656,7 @@ func (m *Machine) ColdReboot() error {
 		return fmt.Errorf("core: cold reboot: %w", err)
 	}
 	k.Disk = m.diskModel
+	k.Metrics = m.metrics
 	m.K = k
 	m.HW.Clock.Advance(m.cost.InitScripts)
 	m.Net.FlushInbound()

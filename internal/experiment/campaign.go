@@ -12,6 +12,7 @@ import (
 	"otherworld/internal/kernel"
 	"otherworld/internal/metrics"
 	"otherworld/internal/resurrect"
+	"otherworld/internal/spans"
 )
 
 // Table5Row aggregates a campaign for one application into the paper's
@@ -49,6 +50,18 @@ type Table5Row struct {
 	// MeanParallelInterruption is the same mean under the parallel
 	// schedule model at resurrect.CanonicalWorkers.
 	MeanParallelInterruption time.Duration
+	// P50/P95/P99 Interruption are nearest-rank percentiles of the
+	// serial-model outage over the same successful recoveries — the
+	// distribution behind MeanInterruption (zero when none succeeded).
+	P50Interruption, P95Interruption, P99Interruption time.Duration
+	// The same percentiles under the parallel schedule model at
+	// resurrect.CanonicalWorkers.
+	P50ParallelInterruption, P95ParallelInterruption, P99ParallelInterruption time.Duration
+	// FirstTouchSamples counts demand-fault stalls observed across the
+	// unprotected pass's successful recoveries (lazy campaigns only); the
+	// percentiles below summarize them.
+	FirstTouchSamples int
+	P50FirstTouch, P95FirstTouch, P99FirstTouch time.Duration
 	// Attributions tallies every non-success failure mode, aggregated by
 	// structured attribution (stage, resurrection phase, panic kind,
 	// normalized reason) and sorted most-frequent first.
@@ -147,6 +160,11 @@ type tally struct {
 	// interruption sums the serial/parallel-model outages over successful
 	// recoveries, for the Table 5 mean-interruption columns.
 	interruption, parInterruption time.Duration
+	// interruptions / parInterruptions keep the per-recovery samples behind
+	// those sums, in commit order, for the percentile columns; firstTouch
+	// accumulates every demand-fault stall (lazy campaigns only).
+	interruptions, parInterruptions []time.Duration
+	firstTouch                      []time.Duration
 }
 
 // sortedAttributions flattens the tally's attribution map into a
@@ -238,7 +256,7 @@ func runCampaignPass(cfg CampaignConfig, app string, protection bool, want int, 
 		commit    int // next seed index to tally
 		attempted int // committed attempts (faulted + discarded)
 		stopped   bool
-		spans     []time.Duration
+		durs      []time.Duration
 	)
 
 	var wg sync.WaitGroup
@@ -279,7 +297,7 @@ func runCampaignPass(cfg CampaignConfig, app string, protection bool, want int, 
 					slots[commit] = slot{} // release the run's trace/report memory
 					commit++
 					attempted++
-					spans = append(spans, r.Duration)
+					durs = append(durs, r.Duration)
 					commitResult(cfg, app, protection, passName, &t, want, attempted, r)
 					if t.n >= want {
 						stopped = true
@@ -291,7 +309,7 @@ func runCampaignPass(cfg CampaignConfig, app string, protection bool, want int, 
 		}()
 	}
 	wg.Wait()
-	return t, spans
+	return t, durs
 }
 
 // commitResult folds one committed experiment into the pass tally. The pass
@@ -315,6 +333,9 @@ func commitResult(cfg CampaignConfig, app string, protection bool, passName stri
 		t.success++
 		t.interruption += res.Interruption
 		t.parInterruption += res.ParallelInterruption
+		t.interruptions = append(t.interruptions, res.Interruption)
+		t.parInterruptions = append(t.parInterruptions, res.ParallelInterruption)
+		t.firstTouch = append(t.firstTouch, res.FirstTouch...)
 	case OutcomeBootFailure:
 		t.boot++
 	case OutcomeResurrectFailure:
@@ -423,8 +444,8 @@ func RunTable5Campaign(cfg CampaignConfig) ([]Table5Row, *CampaignStats) {
 	rows := make([]Table5Row, 0, len(cfg.Apps))
 	const passCount = 2 // unprotected + protected
 	for i, app := range cfg.Apps {
-		base, spans := runCampaignPass(cfg, app, false, cfg.PerApp, passSeedSalt(i, 0, passCount))
-		stats.spans = append(stats.spans, spans...)
+		base, durs := runCampaignPass(cfg, app, false, cfg.PerApp, passSeedSalt(i, 0, passCount))
+		stats.spans = append(stats.spans, durs...)
 		row := Table5Row{
 			App:            app,
 			N:              base.n,
@@ -446,10 +467,22 @@ func RunTable5Campaign(cfg CampaignConfig) ([]Table5Row, *CampaignStats) {
 		if base.success > 0 {
 			row.MeanInterruption = base.interruption / time.Duration(base.success)
 			row.MeanParallelInterruption = base.parInterruption / time.Duration(base.success)
+			row.P50Interruption = spans.Percentile(base.interruptions, 50)
+			row.P95Interruption = spans.Percentile(base.interruptions, 95)
+			row.P99Interruption = spans.Percentile(base.interruptions, 99)
+			row.P50ParallelInterruption = spans.Percentile(base.parInterruptions, 50)
+			row.P95ParallelInterruption = spans.Percentile(base.parInterruptions, 95)
+			row.P99ParallelInterruption = spans.Percentile(base.parInterruptions, 99)
+		}
+		row.FirstTouchSamples = len(base.firstTouch)
+		if row.FirstTouchSamples > 0 {
+			row.P50FirstTouch = spans.Percentile(base.firstTouch, 50)
+			row.P95FirstTouch = spans.Percentile(base.firstTouch, 95)
+			row.P99FirstTouch = spans.Percentile(base.firstTouch, 99)
 		}
 		if !cfg.SkipProtected {
-			prot, pspans := runCampaignPass(cfg, app, true, cfg.PerApp, passSeedSalt(i, 1, passCount))
-			stats.spans = append(stats.spans, pspans...)
+			prot, pdurs := runCampaignPass(cfg, app, true, cfg.PerApp, passSeedSalt(i, 1, passCount))
+			stats.spans = append(stats.spans, pdurs...)
 			row.ProtN = prot.n
 			if prot.n < cfg.PerApp {
 				row.ProtShortfall = cfg.PerApp - prot.n
@@ -479,10 +512,10 @@ func RunTable5Campaign(cfg CampaignConfig) ([]Table5Row, *CampaignStats) {
 
 // RenderTable5 formats campaign rows like the paper's Table 5, extended
 // with mean-interruption columns (serial schedule and the parallel schedule
-// at the canonical worker count) over successful recoveries. A "data
-// survived" column appears only when some row actually audited on-disk
-// state, so campaigns over the classic five applications render exactly as
-// before.
+// at the canonical worker count) and the serial-model interruption
+// percentiles over successful recoveries. A "data survived" column appears
+// only when some row actually audited on-disk state, so campaigns over the
+// classic five applications render exactly as before.
 func RenderTable5(rows []Table5Row) string {
 	withData := false
 	for _, r := range rows {
@@ -491,24 +524,25 @@ func RenderTable5(rows []Table5Row) string {
 		}
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-11s %13s %17s %21s %31s %23s",
+	fmt.Fprintf(&b, "%-11s %13s %17s %21s %31s %23s %20s",
 		"Application", "Successful", "Failure to boot", "Failure to resurrect",
-		"Data corruption with/without", "Mean interruption")
+		"Data corruption with/without", "Mean interruption", "Interruption")
 	if withData {
 		fmt.Fprintf(&b, " %15s", "Data survived")
 	}
-	fmt.Fprintf(&b, "\n%-11s %13s %17s %21s %31s %23s",
+	fmt.Fprintf(&b, "\n%-11s %13s %17s %21s %31s %23s %20s",
 		"", "resurrection", "the crash kernel", "application", "user space protected",
-		fmt.Sprintf("serial / %dw", resurrect.CanonicalWorkers))
+		fmt.Sprintf("serial / %dw", resurrect.CanonicalWorkers), "p50/p95/p99 serial")
 	if withData {
 		fmt.Fprintf(&b, " %15s", "(disk audit)")
 	}
 	b.WriteString("\n")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-11s %12.2f%% %16.2f%% %20.2f%% %14.2f%% / %.2f%% %14.0fs / %.0fs",
+		fmt.Fprintf(&b, "%-11s %12.2f%% %16.2f%% %20.2f%% %14.2f%% / %.2f%% %14.0fs / %.0fs %11.0f/%.0f/%.0fs",
 			r.App, 100*r.Success, 100*r.BootFailure, 100*r.ResurrectFail,
 			100*r.CorruptProt, 100*r.CorruptNoProt,
-			r.MeanInterruption.Seconds(), r.MeanParallelInterruption.Seconds())
+			r.MeanInterruption.Seconds(), r.MeanParallelInterruption.Seconds(),
+			r.P50Interruption.Seconds(), r.P95Interruption.Seconds(), r.P99Interruption.Seconds())
 		if withData {
 			if r.DataChecked > 0 {
 				fmt.Fprintf(&b, " %9d/%-5d", r.DataChecked-r.DataViolations, r.DataChecked)

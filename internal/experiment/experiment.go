@@ -21,6 +21,7 @@ import (
 	"otherworld/internal/layout"
 	"otherworld/internal/resurrect"
 	"otherworld/internal/sim"
+	"otherworld/internal/spans"
 	"otherworld/internal/trace"
 	"otherworld/internal/workload"
 )
@@ -128,6 +129,10 @@ type Config struct {
 	// orphaned) and the workload restarts the application from disk — the
 	// "just reboot" recovery Otherworld is compared against.
 	Baseline bool
+	// BuildSpans reconstructs the post-mortem causal span tree (package
+	// spans) onto Result.Spans after a recovery. Off by default: campaigns
+	// aggregate percentiles without paying for per-run trees.
+	BuildSpans bool
 }
 
 // DefaultConfig returns the paper's experiment parameters.
@@ -192,6 +197,15 @@ type Result struct {
 	// path and contents) when the crash model is enabled: the replay and
 	// worker-width determinism tests compare it byte for byte.
 	DiskFingerprint string
+	// FirstTouch is the demand-fault stall sequence the resumed processes
+	// paid under the lazy install (empty when eager): the samples behind
+	// the Table 6 first-touch percentiles and the span plane's lazy track.
+	// Worker-count-independent — touches resolve on the serial post-resume
+	// execution path.
+	FirstTouch []time.Duration
+	// Spans is the reconstructed causal span tree for the recovery (nil
+	// unless Config.BuildSpans was set and the run reached resurrection).
+	Spans *spans.Tree
 }
 
 // Run executes one complete fault-injection experiment: boot, warm up the
@@ -414,9 +428,11 @@ func runBody(cfg Config, mp **core.Machine) Result {
 		out.VerifyErr = err
 		out.Detail = newDetail(StageVerify, "", err.Error(), out.Trace, res.Panic)
 		checkData(m, d, &out)
+		captureSpanPlane(cfg, m, fo, &out)
 		return out
 	}
 	checkData(m, d, &out)
+	captureSpanPlane(cfg, m, fo, &out)
 	if out.DataErr != nil {
 		// The process came back and its in-memory state verified, but the
 		// platter broke a recovery invariant: that is data corruption an
@@ -428,6 +444,57 @@ func runBody(cfg Config, mp **core.Machine) Result {
 	}
 	out.Outcome = OutcomeSuccess
 	return out
+}
+
+// captureSpanPlane closes the experiment's observability loop after a
+// recovery: it records the span-boundary marks (resume, data audit) on the
+// new kernel's flight recorder — the only runtime trace the causal span
+// plane adds, and it is post-failure — snapshots the first-touch stall
+// sequence onto the result, and, when Config.BuildSpans asks for it,
+// reconstructs the full causal span tree at the canonical analysis width.
+func captureSpanPlane(cfg Config, m *core.Machine, fo *core.FailureOutcome, out *Result) {
+	if fo == nil || fo.Report == nil {
+		return
+	}
+	if tr := m.Tracer(); tr != nil {
+		tr.Record(trace.Event{Kind: trace.KindSpanMark, A: trace.SpanMarkResume,
+			B: uint64(fo.Report.Succeeded())})
+		if out.DataChecked {
+			var b uint64
+			if out.DataErr != nil {
+				b = 1
+			}
+			tr.Record(trace.Event{Kind: trace.KindSpanMark, A: trace.SpanMarkAudit, B: b})
+		}
+	}
+	out.FirstTouch = append([]time.Duration(nil), fo.Report.FirstTouch...)
+	if !cfg.BuildSpans {
+		return
+	}
+	var post []trace.Event
+	if reg := m.TraceRegion(); reg.Frames > 0 {
+		if p := trace.Parse(m.HW.Mem, reg); p != nil {
+			post = p.Events
+		}
+	}
+	derr := ""
+	if out.DataErr != nil {
+		derr = out.DataErr.Error()
+	}
+	tree, err := spans.Build(spans.Input{
+		App:          cfg.App,
+		Seed:         cfg.Seed,
+		Lazy:         cfg.LazyInstall,
+		Workers:      resurrect.CanonicalWorkers,
+		Report:       fo.Report,
+		Interruption: fo.SerialInterruption,
+		PostEvents:   post,
+		DataChecked:  out.DataChecked,
+		DataErr:      derr,
+	})
+	if err == nil {
+		out.Spans = tree
+	}
 }
 
 // checkData audits the application's on-disk state against its recovery

@@ -1,0 +1,92 @@
+package experiment
+
+import (
+	"fmt"
+
+	"otherworld/internal/apps"
+	"otherworld/internal/core"
+	"otherworld/internal/hw"
+	"otherworld/internal/resurrect"
+	"otherworld/internal/spans"
+	"otherworld/internal/trace"
+)
+
+// MultiMySQLRecovery crashes a machine running eight MySQL servers and
+// returns the failure outcome plus the recovered machine (its registry now
+// holds the full crash-and-resurrect trajectory) — the shared scenario
+// behind BenchmarkResurrectParallel, the owbench snapshot entries, the
+// span-plane width goldens and `owstat timeline -mysql-x8`. The servers are
+// warmed with real client traffic first; that matters for the fast-path
+// counters, because serving requests demand-faults each server's row arena
+// (~70 pages, almost all still zero), so the resurrection scan sees the
+// zero-elision and dedup opportunities a freshly-booted idle server would
+// not expose. lazy runs the demand-paged install (validated speculation)
+// instead of the eager full-copy.
+func MultiMySQLRecovery(seed int64, resWorkers int, lazy bool) (*core.FailureOutcome, *core.Machine, error) {
+	opts := core.DefaultOptions()
+	opts.HW = hw.Config{MemoryBytes: 256 << 20, NumCPUs: 2, TLBEntries: 64, WatchdogEnabled: true}
+	opts.CrashRegionMB = 16
+	opts.Seed = seed
+	opts.Resurrection.Workers = resWorkers
+	opts.LazyInstall = lazy
+	m, err := core.NewMachine(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	for j := 0; j < 8; j++ {
+		if _, err := m.Start(fmt.Sprintf("mysqld-%d", j), apps.ProgMySQL); err != nil {
+			return nil, nil, err
+		}
+	}
+	// The servers share the listen port; the deterministic scheduler spreads
+	// the queued inserts round-robin, so every server handles traffic.
+	for i := 0; i < 96; i++ {
+		m.Net.Deliver(apps.MySQLPort, []byte(fmt.Sprintf("I %d warm-%04d", i+1, i)))
+	}
+	m.Run(600)
+	//owvet:allow errdrop: InjectOops always returns the injected panic; recovery is checked below
+	_ = m.K.InjectOops("bench snapshot")
+	out, err := m.HandleFailure()
+	if err != nil {
+		return nil, nil, err
+	}
+	if out.Result != core.ResultRecovered {
+		return nil, nil, fmt.Errorf("transfer failed: %s", out.Transfer.Reason)
+	}
+	return out, m, nil
+}
+
+// SpanTreeFor reconstructs the causal span tree for a completed scenario
+// recovery: it records the resume span mark on the new kernel's flight
+// recorder, re-parses the crash-surviving trace ring, and builds the tree
+// at the given analysis width (workers < 1 selects the canonical width).
+// The tree is keyed by logical time, so for a fixed seed and install mode
+// its fingerprint is bit-identical at any LIVE resurrect-worker width —
+// the property the 1-vs-8 goldens pin.
+func SpanTreeFor(m *core.Machine, fo *core.FailureOutcome, app string, seed int64, lazy bool, workers int) (*spans.Tree, error) {
+	if fo == nil || fo.Report == nil {
+		return nil, fmt.Errorf("span tree: no resurrection report")
+	}
+	if workers < 1 {
+		workers = resurrect.CanonicalWorkers
+	}
+	if tr := m.Tracer(); tr != nil {
+		tr.Record(trace.Event{Kind: trace.KindSpanMark, A: trace.SpanMarkResume,
+			B: uint64(fo.Report.Succeeded())})
+	}
+	var post []trace.Event
+	if reg := m.TraceRegion(); reg.Frames > 0 {
+		if p := trace.Parse(m.HW.Mem, reg); p != nil {
+			post = p.Events
+		}
+	}
+	return spans.Build(spans.Input{
+		App:          app,
+		Seed:         seed,
+		Lazy:         lazy,
+		Workers:      workers,
+		Report:       fo.Report,
+		Interruption: fo.SerialInterruption,
+		PostEvents:   post,
+	})
+}

@@ -8,6 +8,7 @@ import (
 	"otherworld/internal/core"
 	"otherworld/internal/hw"
 	"otherworld/internal/resurrect"
+	"otherworld/internal/spans"
 	"otherworld/internal/workload"
 )
 
@@ -212,6 +213,14 @@ type Table6Row struct {
 	// so the blocked spans the schedule model sums collapse to parse time.
 	LazyInterruption         time.Duration
 	LazyParallelInterruption time.Duration
+	// FirstTouchSamples and the percentile fields summarize the post-resume
+	// demand-fault stalls the lazy run observed (Report.FirstTouch): how long
+	// each first touch of a not-yet-installed page blocked the workload.
+	// Nearest-rank percentiles over touch order, width-independent.
+	FirstTouchSamples int
+	P50FirstTouch     time.Duration
+	P95FirstTouch     time.Duration
+	P99FirstTouch     time.Duration
 }
 
 // Table6Workloads lists the paper's Table 6 rows.
@@ -220,7 +229,7 @@ var Table6Workloads = []string{"shell", "MySQL", "Apache/PHP"}
 // measureTable6Mode runs the Table 6 protocol — boot to first ack, settle,
 // fail, recover, run to the next ack — on one machine with the given install
 // mode, returning the boot time and both schedule-model outages.
-func measureTable6Mode(app string, seed int64, lazy bool) (boot, serial, parallel time.Duration, err error) {
+func measureTable6Mode(app string, seed int64, lazy bool) (boot, serial, parallel time.Duration, firstTouch []time.Duration, err error) {
 	opts := core.DefaultOptions()
 	opts.HW = hw.Config{MemoryBytes: 256 << 20, NumCPUs: 2, TLBEntries: 64, WatchdogEnabled: true}
 	opts.CrashRegionMB = 16
@@ -228,19 +237,19 @@ func measureTable6Mode(app string, seed int64, lazy bool) (boot, serial, paralle
 	opts.LazyInstall = lazy
 	m, err := core.NewMachine(opts)
 	if err != nil {
-		return 0, 0, 0, err
+		return 0, 0, 0, nil, err
 	}
 	d, err := DriverFor(app, seed+1)
 	if err != nil {
-		return 0, 0, 0, err
+		return 0, 0, 0, nil, err
 	}
 	if err := d.Start(m); err != nil {
-		return 0, 0, 0, err
+		return 0, 0, 0, nil, err
 	}
 	// Operational = the first operation acknowledged.
 	for d.Acked() == 0 {
 		if res := workload.RunUntilIdle(m, d, 5, 200); res.Panic != nil {
-			return 0, 0, 0, fmt.Errorf("panic during boot measurement: %v", res.Panic)
+			return 0, 0, 0, nil, fmt.Errorf("panic during boot measurement: %v", res.Panic)
 		}
 	}
 	boot = m.HW.Clock.Now()
@@ -249,22 +258,22 @@ func measureTable6Mode(app string, seed int64, lazy bool) (boot, serial, paralle
 	workload.RunUntilIdle(m, d, 100, 4000)
 	failedAt := m.HW.Clock.Now()
 	if err := m.K.InjectOops("table 6 measurement"); err == nil {
-		return 0, 0, 0, fmt.Errorf("InjectOops did not panic")
+		return 0, 0, 0, nil, fmt.Errorf("InjectOops did not panic")
 	}
 	fo, err := m.HandleFailure()
 	if err != nil {
-		return 0, 0, 0, err
+		return 0, 0, 0, nil, err
 	}
 	if fo.Result != core.ResultRecovered {
-		return 0, 0, 0, fmt.Errorf("transfer failed: %s", fo.Transfer.Reason)
+		return 0, 0, 0, nil, fmt.Errorf("transfer failed: %s", fo.Transfer.Reason)
 	}
 	if err := d.Reattach(m); err != nil {
-		return 0, 0, 0, err
+		return 0, 0, 0, nil, err
 	}
 	before := d.Acked()
 	for d.Acked() <= before {
 		if res := workload.RunUntilIdle(m, d, 5, 200); res.Panic != nil {
-			return 0, 0, 0, fmt.Errorf("panic during recovery measurement: %v", res.Panic)
+			return 0, 0, 0, nil, fmt.Errorf("panic during recovery measurement: %v", res.Panic)
 		}
 	}
 	// The live delta reflects whatever pool width the engine ran with;
@@ -274,22 +283,22 @@ func measureTable6Mode(app string, seed int64, lazy bool) (boot, serial, paralle
 	// so the corrected outage is time-to-resume, which is the point.
 	measured := m.HW.Clock.Now() - failedAt
 	if fo.Report == nil {
-		return boot, measured, measured, nil
+		return boot, measured, measured, nil, nil
 	}
 	live := fo.Report.Parallel.Duration
 	serial = measured - live + fo.Report.Duration
 	parallel = measured - live + fo.Report.ScheduleAt(resurrect.CanonicalWorkers)
-	return boot, serial, parallel, nil
+	return boot, serial, parallel, fo.Report.FirstTouch, nil
 }
 
 // MeasureTable6 measures a workload's cold-boot time and its service
 // interruption across a microreboot, under the eager and the lazy install.
 func MeasureTable6(app string, seed int64) (Table6Row, error) {
-	boot, serial, parallel, err := measureTable6Mode(app, seed, false)
+	boot, serial, parallel, _, err := measureTable6Mode(app, seed, false)
 	if err != nil {
 		return Table6Row{}, err
 	}
-	_, lazySerial, lazyParallel, err := measureTable6Mode(app, seed, true)
+	_, lazySerial, lazyParallel, firstTouch, err := measureTable6Mode(app, seed, true)
 	if err != nil {
 		return Table6Row{}, fmt.Errorf("lazy install: %w", err)
 	}
@@ -300,6 +309,10 @@ func MeasureTable6(app string, seed int64) (Table6Row, error) {
 		ParallelInterruption:     parallel,
 		LazyInterruption:         lazySerial,
 		LazyParallelInterruption: lazyParallel,
+		FirstTouchSamples:        len(firstTouch),
+		P50FirstTouch:            spans.Percentile(firstTouch, 50),
+		P95FirstTouch:            spans.Percentile(firstTouch, 95),
+		P99FirstTouch:            spans.Percentile(firstTouch, 99),
 	}, nil
 }
 
@@ -317,22 +330,26 @@ func RunTable6(seed int64) ([]Table6Row, error) {
 }
 
 // RenderTable6 formats rows like the paper's Table 6 (seconds), extended
-// with a parallel-resurrection column at the canonical worker count and the
+// with a parallel-resurrection column at the canonical worker count, the
 // two lazy-install columns (millisecond precision: the lazy outage is
-// time-to-resume, far below a second on the measured workloads).
+// time-to-resume, far below a second on the measured workloads), and the
+// lazy run's first-touch stall percentiles (n and p50/p95/p99).
 func RenderTable6(rows []Table6Row) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-11s %10s %26s %17s %17s %17s\n",
+	fmt.Fprintf(&b, "%-11s %10s %26s %17s %17s %17s %30s\n",
 		"Application", "Boot time", "Interruption (serial)",
 		fmt.Sprintf("(%d workers)", resurrect.CanonicalWorkers),
 		"lazy (serial)",
-		fmt.Sprintf("lazy (%dw)", resurrect.CanonicalWorkers))
+		fmt.Sprintf("lazy (%dw)", resurrect.CanonicalWorkers),
+		"first-touch p50/p95/p99")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-11s %9.0fs %25.0fs %16.0fs %16.3fs %16.3fs\n",
+		fmt.Fprintf(&b, "%-11s %9.0fs %25.0fs %16.0fs %16.3fs %16.3fs %14s n=%d\n",
 			r.App, r.BootTime.Seconds(), r.Interruption.Seconds(),
 			r.ParallelInterruption.Seconds(),
 			r.LazyInterruption.Seconds(),
-			r.LazyParallelInterruption.Seconds())
+			r.LazyParallelInterruption.Seconds(),
+			fmt.Sprintf("%v/%v/%v", r.P50FirstTouch, r.P95FirstTouch, r.P99FirstTouch),
+			r.FirstTouchSamples)
 	}
 	return b.String()
 }

@@ -20,6 +20,7 @@ import (
 	"otherworld/internal/fs"
 	"otherworld/internal/hw"
 	"otherworld/internal/layout"
+	"otherworld/internal/metrics"
 	"otherworld/internal/phys"
 	"otherworld/internal/sim"
 	"otherworld/internal/trace"
@@ -180,6 +181,12 @@ type Kernel struct {
 	// the crash kernel parses after a failure (package trace). It is
 	// attached by core after boot; nil (tracing off) is always safe.
 	Tracer *trace.Ring
+
+	// Metrics is the machine-lifetime metrics registry, attached by core
+	// alongside the tracer so kernel-resident workloads (the WAL app's
+	// commit-to-durable histogram, for one) can publish instruments; nil
+	// (metrics plane off) is always safe — Registry methods are nil-tolerant.
+	Metrics *metrics.Registry
 
 	// Spec resolves speculated (copy-on-access) pages left behind by the
 	// lazy resurrection install; nil means no speculations are outstanding

@@ -272,6 +272,39 @@ func TestJSONGolden(t *testing.T) {
 	}
 }
 
+func TestRenderTableGolden(t *testing.T) {
+	var b bytes.Buffer
+	if err := sampleRegistry().Snapshot().RenderTable(&b); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "snapshot.table.golden", b.Bytes())
+	// The histogram line carries the percentile summary; 2000000000 lies
+	// past the last bound, so p99 must render as an overflow value.
+	out := b.String()
+	if !strings.Contains(out, "p50=") || !strings.Contains(out, "p99=>1000000000") {
+		t.Fatalf("histogram percentile summary missing or wrong:\n%s", out)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "", []int64{100, 200}, nil)
+	for i := 0; i < 10; i++ {
+		h.Observe(50) // all in the first bucket
+	}
+	p := r.Snapshot().Get("lat", nil)
+	// rank(50) = 5 of 10 within [0,100] -> 100*5/10 = 50.
+	if v, exact := p.Quantile(50); !exact || v != 50 {
+		t.Fatalf("p50 = %d (exact=%v), want 50 exact", v, exact)
+	}
+	if v, exact := p.Quantile(100); !exact || v != 100 {
+		t.Fatalf("p100 = %d (exact=%v), want 100 exact", v, exact)
+	}
+	if v, _ := p.Quantile(0); v != 10 {
+		t.Fatalf("p0 = %d, want rank-1 interpolation 10", v)
+	}
+}
+
 func TestPrometheusGolden(t *testing.T) {
 	var b bytes.Buffer
 	if err := sampleRegistry().Snapshot().WritePrometheus(&b); err != nil {

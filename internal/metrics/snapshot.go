@@ -267,6 +267,9 @@ func (s *Snapshot) WritePrometheus(w io.Writer) error {
 }
 
 // RenderTable renders a human-readable table, one series per line.
+// Histograms get a p50/p90/p99 summary next to the raw totals; a ">N"
+// value marks a rank landing past the last bucket bound, where the
+// histogram has no upper edge to interpolate against.
 func (s *Snapshot) RenderTable(w io.Writer) error {
 	for _, p := range s.Points {
 		var val string
@@ -277,12 +280,57 @@ func (s *Snapshot) RenderTable(w io.Writer) error {
 			val = formatGauge(p.Gauge)
 		case "histogram":
 			val = fmt.Sprintf("count=%d sum=%d overflow=%d", p.Count, p.Sum, p.Overflow)
+			if p.Count > 0 {
+				val += fmt.Sprintf(" p50=%s p90=%s p99=%s",
+					p.quantileString(50), p.quantileString(90), p.quantileString(99))
+			}
 		}
 		if _, err := fmt.Fprintf(w, "%-10s %-58s %s\n", p.Kind, p.ID(), val); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// Quantile estimates the q-th percentile from the histogram's buckets:
+// nearest-rank over the counts, linear interpolation inside the winning
+// bucket, integer math only — so identical snapshots render identical
+// summaries on every platform. A rank landing in the overflow region (past
+// the last bound) reports the last bound with exact=false, since the
+// histogram has no upper edge there. Zero-count histograms report 0.
+func (p Point) Quantile(q int) (v int64, exact bool) {
+	if p.Kind != "histogram" || p.Count <= 0 {
+		return 0, true
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 100 {
+		q = 100
+	}
+	rank := (int64(q)*p.Count + 99) / 100 // ceil(q/100 * count)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	var lo int64
+	for _, bk := range p.Buckets {
+		if rank <= cum+bk.Count {
+			// Interpolate within [lo, bk.Le] by position in the bucket.
+			return lo + (bk.Le-lo)*(rank-cum)/bk.Count, true
+		}
+		cum += bk.Count
+		lo = bk.Le
+	}
+	return lo, false
+}
+
+func (p Point) quantileString(q int) string {
+	v, exact := p.Quantile(q)
+	if !exact {
+		return fmt.Sprintf(">%d", v)
+	}
+	return strconv.FormatInt(v, 10)
 }
 
 // Delta is one changed field between two snapshots.

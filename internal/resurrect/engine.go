@@ -278,6 +278,13 @@ type Report struct {
 	// per candidate phase), ordered by candidate-local logical time with
 	// ties broken on candidate PID — identical at any worker count.
 	ScanTrace []trace.Event
+	// FirstTouch collects each demand-fault stall a resumed process paid on
+	// first touch of a speculated page (lazy install only), in touch order.
+	// Touches happen on the serial post-resume execution path, so the slice
+	// is worker-count-independent; it keeps filling after Run returns, as
+	// the workload faults pages in. Excluded from Fingerprint — the span
+	// plane and Table 6 percentiles pin it through their own goldens.
+	FirstTouch []time.Duration
 	// Trace is the dead kernel's flight recorder, parsed out of the crash
 	// area's ring sub-region (nil when the engine was given no ring).
 	Trace *trace.Parsed
@@ -517,6 +524,7 @@ func (e *Engine) Run(cfg Config) *Report {
 	if e.LazyInstall {
 		e.lazy = newLazyState(e)
 		e.lazy.installing = true
+		e.lazy.report = rep
 		e.K.Spec = e.lazy
 	}
 	liveClock := e.K.M.Clock

@@ -76,6 +76,11 @@ type lazyState struct {
 	// crash procedures) executes; it keeps the fallback counter from double
 	// counting procs the publish pass already attributes.
 	installing bool
+	// report is the pass's published report; first-touch stalls append to
+	// its FirstTouch slice at resolve time so post-mortem consumers (the
+	// span plane, Table 6 percentiles) see every demand fault the resumed
+	// processes paid, not just the ones inside Run.
+	report *Report
 }
 
 func newLazyState(e *Engine) *lazyState {
@@ -196,9 +201,13 @@ func (ls *lazyState) resolveEntry(p *kernel.Process, ent *specEntry, trigger str
 		"speculated pages materialized, by trigger",
 		metrics.Labels{"trigger": trigger}).Inc()
 	if trigger == "touch" {
+		stall := e.K.M.Clock.Since(start)
 		e.specHistogram("resurrect_first_touch_ns",
 			"demand-paging stall on first touch of a speculated page",
-			firstTouchBounds, nil).Observe(int64(e.K.M.Clock.Since(start)))
+			firstTouchBounds, nil).Observe(int64(stall))
+		if ls.report != nil {
+			ls.report.FirstTouch = append(ls.report.FirstTouch, stall)
+		}
 	}
 	return nil
 }

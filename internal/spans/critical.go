@@ -1,0 +1,121 @@
+package spans
+
+import (
+	"time"
+
+	"otherworld/internal/resurrect"
+)
+
+// Share is one bucket of the critical-path attribution: how much of the
+// modeled interruption at the analysis width one phase (or one serial
+// stage) is responsible for.
+type Share struct {
+	// Name is "microreboot", "prologue", a resurrection phase name
+	// ("parse", "page-copy", ...), or "other" for blocked time the
+	// per-phase timelines did not itemize.
+	Name string
+	Dur  time.Duration
+}
+
+// CriticalPath attributes the modeled interruption at a given worker width
+// to the chain of spans that bounds it. Under the deterministic round-robin
+// schedule (candidate i → worker i mod W) the slowest worker's candidate
+// chain *is* the critical path: the outage ends only when that worker's
+// last blocked span does, everything else overlaps it.
+type CriticalPath struct {
+	// Workers is the analysis width.
+	Workers int
+	// Interruption is the modeled outage at that width: the serial
+	// microreboot overhead, the resurrection prologue, and the critical
+	// worker's summed blocked spans. It equals
+	// core.FailureOutcome.InterruptionAt(Workers) by construction.
+	Interruption time.Duration
+	// Worker is the critical worker's index (lowest index wins ties).
+	Worker int
+	// Candidates are the candidate indices on the critical worker, in
+	// stable candidate order.
+	Candidates []int
+	// Shares partitions Interruption without remainder: the sum of every
+	// Share.Dur is exactly Interruption, so rendered percentages always
+	// total 100%.
+	Shares []Share
+}
+
+// Permille returns s's share of the interruption in tenths of a percent,
+// rounded half-up — integer math, so rendering is bit-identical everywhere.
+func (cp *CriticalPath) Permille(s Share) int64 {
+	if cp.Interruption <= 0 {
+		return 0
+	}
+	return (int64(s.Dur)*1000 + int64(cp.Interruption)/2) / int64(cp.Interruption)
+}
+
+// criticalPath extracts the attribution from worker-count-independent
+// report fields. Every nanosecond of the modeled interruption lands in
+// exactly one bucket: the serial stages in theirs, each critical-path
+// candidate's blocked span split across its timeline phases in execution
+// order, and any blocked remainder the timeline did not itemize in "other".
+// Timeline tail beyond the blocked span is deferred (post-resume) work and
+// deliberately excluded — it does not bound the outage. Negative durations
+// can only come from a corrupted report; they are clamped to zero on every
+// path so the shares-sum invariant survives arbitrary input (FuzzSpanBuild).
+func criticalPath(rep *resurrect.Report, outside time.Duration, workers int) CriticalPath {
+	pos := func(d time.Duration) time.Duration {
+		if d < 0 {
+			return 0
+		}
+		return d
+	}
+	cp := CriticalPath{Workers: workers}
+	prologue := pos(rep.Prologue)
+	totals := make([]time.Duration, workers)
+	for i, d := range rep.PerCandidate {
+		totals[i%workers] += pos(d)
+	}
+	for wk := 1; wk < workers; wk++ {
+		if totals[wk] > totals[cp.Worker] {
+			cp.Worker = wk
+		}
+	}
+	cp.Interruption = outside + prologue + totals[cp.Worker]
+
+	// Phase buckets are indexed by resurrect.Phase so the output order is
+	// the pipeline's execution order, never a map walk.
+	const maxPhase = int(resurrect.PhasePolicy) + 1
+	var phases [maxPhase]time.Duration
+	var other time.Duration
+	for i := cp.Worker; i < len(rep.PerCandidate); i += workers {
+		cp.Candidates = append(cp.Candidates, i)
+		remaining := pos(rep.PerCandidate[i])
+		if i < len(rep.Procs) {
+			for _, st := range rep.Procs[i].Timeline {
+				if remaining <= 0 {
+					break
+				}
+				take := pos(st.Duration)
+				if take > remaining {
+					take = remaining
+				}
+				if p := int(st.Phase); p >= 0 && p < maxPhase {
+					phases[p] += take
+				} else {
+					other += take
+				}
+				remaining -= take
+			}
+		}
+		other += remaining
+	}
+
+	cp.Shares = append(cp.Shares, Share{Name: "microreboot", Dur: outside})
+	cp.Shares = append(cp.Shares, Share{Name: "prologue", Dur: prologue})
+	for p := 0; p < maxPhase; p++ {
+		if phases[p] > 0 {
+			cp.Shares = append(cp.Shares, Share{Name: resurrect.Phase(p).String(), Dur: phases[p]})
+		}
+	}
+	if other > 0 {
+		cp.Shares = append(cp.Shares, Share{Name: "other", Dur: other})
+	}
+	return cp
+}

@@ -1,0 +1,85 @@
+package spans
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Render returns the text timeline: the span tree in depth-first order with
+// logical-time offsets, followed by the critical-path attribution and the
+// first-touch distribution. The output is a pure function of the tree, so
+// the width-determinism goldens pin it byte for byte — it doubles as the
+// tree's fingerprint.
+func (t *Tree) Render() string {
+	var b strings.Builder
+	mode := "eager"
+	if t.Lazy {
+		mode = "lazy"
+	}
+	fmt.Fprintf(&b, "span plane: app=%s seed=%d mode=%s workers=%d skipped=%d\n",
+		t.App, t.Seed, mode, t.Workers, t.Skipped)
+	if t.Root != nil {
+		renderSpan(&b, t.Root, 0)
+	}
+
+	cp := &t.Critical
+	fmt.Fprintf(&b, "critical path @ %d workers: interruption=%v (worker %d, candidates %v)\n",
+		cp.Workers, cp.Interruption, cp.Worker, cp.Candidates)
+	var sum time.Duration
+	for _, s := range cp.Shares {
+		pm := cp.Permille(s)
+		fmt.Fprintf(&b, "  %-14s %3d.%d%%  %v\n", s.Name, pm/10, pm%10, s.Dur)
+		sum += s.Dur
+	}
+	fmt.Fprintf(&b, "  shares sum=%v of %v\n", sum, cp.Interruption)
+
+	if n := len(t.FirstTouch); n > 0 {
+		fmt.Fprintf(&b, "first-touch stalls: n=%d p50=%v p95=%v p99=%v\n",
+			n, Percentile(t.FirstTouch, 50), Percentile(t.FirstTouch, 95), Percentile(t.FirstTouch, 99))
+	}
+	return b.String()
+}
+
+// Fingerprint is the determinism anchor the 1-vs-8 width goldens compare.
+func (t *Tree) Fingerprint() string { return t.Render() }
+
+func renderSpan(b *strings.Builder, s *Span, depth int) {
+	indent := strings.Repeat("  ", depth)
+	if s.Dur > 0 {
+		fmt.Fprintf(b, "%s%s [%v +%v] %s", indent, s.Name, s.Start, s.Dur, s.Cat)
+	} else {
+		fmt.Fprintf(b, "%s%s [%v] %s", indent, s.Name, s.Start, s.Cat)
+	}
+	if s.PID != 0 {
+		fmt.Fprintf(b, " pid=%d", s.PID)
+	}
+	if s.Note != "" {
+		fmt.Fprintf(b, " — %s", s.Note)
+	}
+	b.WriteByte('\n')
+	for _, c := range s.Children {
+		renderSpan(b, c, depth+1)
+	}
+}
+
+// Percentile returns the p-th percentile of samples by the nearest-rank
+// method over a sorted copy — integer rank math, no interpolation, so the
+// same samples give the same answer on every platform. p is clamped to
+// [0, 100]; an empty sample set yields 0.
+func Percentile(samples []time.Duration, p int) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := (p*len(s) + 99) / 100 // ceil(p/100 * n), nearest-rank
+	return s[rank-1]
+}

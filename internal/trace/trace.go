@@ -82,12 +82,29 @@ const (
 	// crash report summary). Recorded on the new kernel's ring: the dead
 	// ring is already being salvaged when the model fires.
 	KindDiskCrash
+	// KindSpanMark is a span-boundary marker for the post-mortem causal
+	// span plane (internal/spans): A = a SpanMark* code, B = a mark-specific
+	// scalar. Recorded on the new kernel's ring by the experiment harness at
+	// recovery milestones (resume, data audit); the healthy path never
+	// writes one, so the plane costs nothing before a failure.
+	KindSpanMark
 	kindMax
+)
+
+// Span-mark codes carried in a KindSpanMark event's A scalar.
+const (
+	// SpanMarkResume marks the first post-recovery quantum the workload ran
+	// (B = the resurrection report's resumed-process count).
+	SpanMarkResume uint64 = iota + 1
+	// SpanMarkAudit marks the post-crash data audit completing (B = 1 when
+	// the audit found a violation, 0 when clean).
+	SpanMarkAudit
 )
 
 var kindNames = [...]string{
 	"invalid", "boot", "sched", "counters",
 	"fault-inject", "fault-manifest", "panic", "resurrect", "disk-crash",
+	"span-mark",
 }
 
 func (k Kind) String() string {
