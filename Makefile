@@ -62,18 +62,24 @@ wal-check:
 
 # verify is the pre-merge gate: build, vet, owvet lint, full tests, race
 # pass, a short fuzz burst over the crash-kernel decoder surface, the
-# owstat metrics smoke check and the WAL data-survival campaign gate.
-verify: build vet lint test race fuzz-short owstat-smoke wal-check
+# owstat metrics smoke check, the WAL data-survival campaign gate and the
+# fleet-recovery smoke (streaming resurrection over a small population).
+verify: build vet lint test race fuzz-short owstat-smoke wal-check fleet-smoke
+
+# A small-population fleet recovery end to end: index-assisted discovery,
+# tier admission, pipelined commit, per-tier table.
+fleet-smoke:
+	$(GO) test -run 'TestFleetRecoverySmoke|TestFleetCorruptIndexFallsBack' ./internal/experiment
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
 # bench-diff re-measures the perf-trajectory scenarios at the checked-in
 # snapshot's seed and fails on any modeled-time metric regressing more
-# than 10% against BENCH_6.json (the eager+lazy install baseline — the
-# gate covers the demand-paged interruption columns too).
+# than 10% against BENCH_10.json (the fleet streaming baseline — the gate
+# covers the per-tier first-resume and discovery-prologue columns too).
 bench-diff: build
-	$(GO) run ./cmd/owbench -bench-diff BENCH_6.json
+	$(GO) run ./cmd/owbench -bench-diff BENCH_10.json
 
 campaign:
 	$(GO) run ./cmd/owcampaign -n 100

@@ -268,6 +268,39 @@ func BenchmarkCampaignParallel(b *testing.B) {
 	}
 }
 
+// --- Fleet-scale streaming resurrection (ISSUE 10) ---------------------------
+
+// BenchmarkFleetResurrect sweeps the fleet-recovery scenario over population
+// sizes and evaluates the streamed pipelined-commit schedule at several
+// worker widths. One recovery per population yields the whole width sweep
+// because the report's per-candidate spans are width-independent
+// (Report.ScheduleAt re-evaluates the schedule model); tier-0
+// time-to-first-resume and the index-assisted discovery prologue are the
+// headline columns the bench snapshot pins.
+func BenchmarkFleetResurrect(b *testing.B) {
+	for _, pop := range []int{64, 256, 1024} {
+		b.Run(fmt.Sprintf("pop-%d", pop), func(b *testing.B) {
+			var res *experiment.FleetResult
+			for i := 0; i < b.N; i++ {
+				r, err := experiment.FleetRecovery(experiment.DefaultFleet(pop, 20100413))
+				if err != nil {
+					b.Fatal(err)
+				}
+				res = r
+			}
+			rep := res.Outcome.Report
+			b.ReportMetric(res.Prologue.Seconds()*1e6, "prologue-us")
+			b.ReportMetric(float64(res.IndexUsed), "index-entries")
+			if t0 := res.Tiers[0]; t0.HasPercentiles {
+				b.ReportMetric(t0.FirstResume.Seconds(), "tier0-first-resume-s")
+			}
+			for _, w := range []int{1, 4, 8} {
+				b.ReportMetric(rep.ScheduleAt(w).Seconds(), fmt.Sprintf("sched-%dw-s", w))
+			}
+		})
+	}
+}
+
 // --- Section 7: hot kernel update / rejuvenation ----------------------------
 
 // BenchmarkHotUpdateInterruption measures the planned-microreboot pause with

@@ -51,6 +51,7 @@ func main() {
 	campaignWorkers := flag.Int("campaign-workers", 0, "campaign pool width: whole experiments run concurrently (0 = NumCPU); results and published figures are identical at any width")
 	lazyInstall := flag.Bool("lazy-install", false, "run the table campaigns with demand-paged resurrection (the bench snapshot always measures both modes)")
 	benchDiff := flag.String("bench-diff", "", "rebuild the bench snapshot and fail if any modeled-time metric regressed >10% against this baseline BENCH_N.json")
+	fleetPop := flag.Int("fleet", 0, "run the fleet-recovery comparison at this population (streaming vs batch per-tier tables) and exit; the JSON snapshot always measures population 256")
 	jsonOut := flag.String("json", "", "write a perf snapshot (per-benchmark custom metrics, seed, workers, metrics snapshot) as JSON to this file and exit; schema in EXPERIMENTS.md")
 	showMetrics := flag.Bool("metrics", false, "print the bench scenario's final metrics snapshot and exit")
 	metricsJSON := flag.String("metrics-json", "", "write the bench scenario's metrics snapshot (otherworld-metrics/1) to this file and exit")
@@ -84,6 +85,12 @@ func main() {
 
 	if *benchDiff != "" {
 		if err := benchDiffMode(*benchDiff, *resWorkers, *campaignWorkers); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *fleetPop > 0 {
+		if err := fleetCompareMode(*fleetPop, *seed, *resWorkers, *lazyInstall); err != nil {
 			fatal(err)
 		}
 		return
@@ -214,6 +221,42 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// fleetCompareMode (-fleet N) recovers the same N-process fleet twice — the
+// streaming pass with index-assisted discovery, then the classic batch
+// engine with the full-walk prologue — and prints the per-tier tables side
+// by side with the headline ratios.
+func fleetCompareMode(population int, seed int64, resWorkers int, lazy bool) error {
+	scfg := experiment.DefaultFleet(population, seed)
+	scfg.Workers = resWorkers
+	scfg.Lazy = lazy
+	stream, err := experiment.FleetRecovery(scfg)
+	if err != nil {
+		return fmt.Errorf("fleet streaming: %w", err)
+	}
+	bcfg := experiment.DefaultFleet(population, seed)
+	bcfg.Stream = false
+	bcfg.IndexSlots = 0
+	bcfg.Workers = resWorkers
+	bcfg.Lazy = lazy
+	batch, err := experiment.FleetRecovery(bcfg)
+	if err != nil {
+		return fmt.Errorf("fleet batch: %w", err)
+	}
+	fmt.Println("== Fleet recovery: streaming pass (index discovery + tier admission + pipelined commit)")
+	fmt.Print(stream.RenderFleetTable())
+	fmt.Println("\n== Fleet recovery: batch pass (full-walk discovery, scan-all-then-install)")
+	fmt.Print(batch.RenderFleetTable())
+	if s0, b0 := stream.Tiers[0], batch.Tiers[0]; s0.HasPercentiles && b0.HasPercentiles && s0.FirstResume > 0 {
+		fmt.Printf("\ntier-0 time-to-first-resume: streaming %v vs batch %v (%.2fx)\n",
+			s0.FirstResume, b0.FirstResume, float64(b0.FirstResume)/float64(s0.FirstResume))
+	}
+	if stream.Prologue > 0 {
+		fmt.Printf("discovery prologue: index %v vs full walk %v (%.2fx)\n",
+			stream.Prologue, batch.Prologue, float64(batch.Prologue)/float64(stream.Prologue))
+	}
+	return nil
+}
+
 // --- Perf snapshot (-json): the benchmark trajectory ------------------------
 
 // benchSnapshot is the BENCH_N.json schema (documented in EXPERIMENTS.md).
@@ -235,9 +278,13 @@ func fatal(err error) {
 // adds the span-plane percentile layer: interruption p50/p95/p99 on the
 // campaign entries (nearest-rank over successful recoveries, serial model)
 // and first-touch stall percentiles on the lazy resurrection and table6
-// entries.
-// readSnapshot accepts all six, so older checked-in BENCH_N.json baselines
-// stay readable.
+// entries; /7 adds the fleet-scale streaming resurrection pair
+// (fleet-stream/mixed-256 and fleet-batch/mixed-256): per-SLO-tier
+// time-to-first-resume and interruption percentiles at the canonical width,
+// the index-assisted vs full-walk discovery prologue, and the modeled
+// open-loop requests lost per tier.
+// readSnapshot accepts all seven, so older checked-in BENCH_N.json
+// baselines stay readable.
 const (
 	benchSchemaV1 = "otherworld-bench/1"
 	benchSchemaV2 = "otherworld-bench/2"
@@ -245,6 +292,7 @@ const (
 	benchSchemaV4 = "otherworld-bench/4"
 	benchSchemaV5 = "otherworld-bench/5"
 	benchSchemaV6 = "otherworld-bench/6"
+	benchSchemaV7 = "otherworld-bench/7"
 )
 
 type benchSnapshot struct {
@@ -277,7 +325,7 @@ func readSnapshot(data []byte) (*benchSnapshot, error) {
 		return nil, err
 	}
 	switch s.Schema {
-	case benchSchemaV1, benchSchemaV2, benchSchemaV3, benchSchemaV4, benchSchemaV5, benchSchemaV6:
+	case benchSchemaV1, benchSchemaV2, benchSchemaV3, benchSchemaV4, benchSchemaV5, benchSchemaV6, benchSchemaV7:
 		return &s, nil
 	default:
 		return nil, fmt.Errorf("unknown bench snapshot schema %q", s.Schema)
@@ -335,7 +383,7 @@ func benchSnapshotMode(jsonPath string, seed int64, resWorkers, campaignWorkers 
 // separately for -metrics.
 func buildSnapshot(seed int64, resWorkers, campaignWorkers int) (*benchSnapshot, *metrics.Snapshot, error) {
 	snap := &benchSnapshot{
-		Schema:           benchSchemaV6,
+		Schema:           benchSchemaV7,
 		Seed:             seed,
 		ResurrectWorkers: resWorkers,
 		CanonicalWorkers: resurrect.CanonicalWorkers,
@@ -398,9 +446,15 @@ func buildSnapshot(seed int64, resWorkers, campaignWorkers int) (*benchSnapshot,
 	}
 	// Schema /6: the demand-fault stall distribution the lazy run observed.
 	lazy.Metrics["first-touch-n"] = float64(len(lrep.FirstTouch))
-	lazy.Metrics["first-touch-p50-us"] = float64(spans.Percentile(lrep.FirstTouch, 50).Microseconds())
-	lazy.Metrics["first-touch-p95-us"] = float64(spans.Percentile(lrep.FirstTouch, 95).Microseconds())
-	lazy.Metrics["first-touch-p99-us"] = float64(spans.Percentile(lrep.FirstTouch, 99).Microseconds())
+	// Percentile keys are present only when stalls were observed: an empty
+	// distribution has no percentiles, and a fake 0 would poison bench-diff.
+	if p50, ok := spans.Percentile(lrep.FirstTouch, 50); ok {
+		p95, _ := spans.Percentile(lrep.FirstTouch, 95)
+		p99, _ := spans.Percentile(lrep.FirstTouch, 99)
+		lazy.Metrics["first-touch-p50-us"] = float64(p50.Microseconds())
+		lazy.Metrics["first-touch-p95-us"] = float64(p95.Microseconds())
+		lazy.Metrics["first-touch-p99-us"] = float64(p99.Microseconds())
+	}
 	snap.Benchmarks = append(snap.Benchmarks, lazy)
 
 	// The campaign-pool sweep (schema /3): a small real vi campaign, its
@@ -459,6 +513,65 @@ func buildSnapshot(seed int64, resWorkers, campaignWorkers int) (*benchSnapshot,
 		wal.Metrics["violations"+suffix] = float64(r.DataViolations)
 	}
 	snap.Benchmarks = append(snap.Benchmarks, wal)
+
+	// The fleet-scale streaming pair (schema /7): a 256-process mixed fleet
+	// recovered by the streaming pass (index-assisted discovery + tier
+	// admission + pipelined commit) and again by the classic batch engine.
+	// Per-tier first-resume and percentiles are modeled at the canonical
+	// width and the batch entry quotes the same fleet through the full-walk
+	// path, so the discovery and tier-0 wins are pinned side by side.
+	fcfg := experiment.DefaultFleet(256, seed)
+	fcfg.Workers = resWorkers
+	fres, err := experiment.FleetRecovery(fcfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fleet-stream scenario: %w", err)
+	}
+	fleet := benchEntry{Name: "fleet-stream/mixed-256", Metrics: map[string]float64{
+		"population":    float64(fres.Population),
+		"serial-s":      fres.Outcome.Report.Duration.Seconds(),
+		"prologue-s":    fres.Prologue.Seconds(),
+		"index-entries": float64(fres.IndexUsed),
+		"index-skipped": float64(fres.IndexSkipped),
+	}}
+	for _, st := range fres.Tiers {
+		if !st.HasPercentiles {
+			continue
+		}
+		pfx := fmt.Sprintf("tier%d-", st.Tier)
+		fleet.Metrics[pfx+"procs"] = float64(st.Procs)
+		fleet.Metrics[pfx+"first-resume-s"] = st.FirstResume.Seconds()
+		fleet.Metrics[pfx+"p50-s"] = st.P50.Seconds()
+		fleet.Metrics[pfx+"p95-s"] = st.P95.Seconds()
+		fleet.Metrics[pfx+"p99-s"] = st.P99.Seconds()
+		fleet.Metrics[pfx+"requests-lost"] = float64(st.RequestsLost)
+	}
+	snap.Benchmarks = append(snap.Benchmarks, fleet)
+
+	bcfg := experiment.DefaultFleet(256, seed)
+	bcfg.Stream = false
+	bcfg.IndexSlots = 0
+	bcfg.Workers = resWorkers
+	bres, err := experiment.FleetRecovery(bcfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fleet-batch scenario: %w", err)
+	}
+	batch := benchEntry{Name: "fleet-batch/mixed-256", Metrics: map[string]float64{
+		"population": float64(bres.Population),
+		"serial-s":   bres.Outcome.Report.Duration.Seconds(),
+		"prologue-s": bres.Prologue.Seconds(),
+	}}
+	for _, st := range bres.Tiers {
+		if !st.HasPercentiles {
+			continue
+		}
+		pfx := fmt.Sprintf("tier%d-", st.Tier)
+		batch.Metrics[pfx+"first-resume-s"] = st.FirstResume.Seconds()
+	}
+	if s0, b0 := fres.Tiers[0], bres.Tiers[0]; s0.HasPercentiles && b0.HasPercentiles &&
+		s0.FirstResume > 0 {
+		batch.Metrics["tier0-stream-win-x"] = float64(b0.FirstResume) / float64(s0.FirstResume)
+	}
+	snap.Benchmarks = append(snap.Benchmarks, batch)
 
 	rows, err := experiment.RunTable6(seed)
 	if err != nil {

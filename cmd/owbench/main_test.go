@@ -185,14 +185,50 @@ func TestReadSnapshotCompatV5(t *testing.T) {
 	}
 }
 
-// TestBuildSnapshotV6 runs the real bench scenario once and checks the /6
-// shape: the /2–/5 fields are still there (embedded metrics, normalized
+// TestReadSnapshotCompatV6 pins the /6 shape: the span-plane percentile
+// metrics are present but no fleet entries. Files written by the previous
+// binary must keep decoding (and keep driving -bench-diff) after /7.
+func TestReadSnapshotCompatV6(t *testing.T) {
+	v6 := []byte(`{
+		"schema": "otherworld-bench/6",
+		"seed": 20100413,
+		"resurrect_workers": 2,
+		"canonical_workers": 4,
+		"campaign_workers": 4,
+		"benchmarks": [
+			{"name": "resurrect-lazy/mysql-x8",
+			 "metrics": {"serial-s": 9.5, "first-touch-n": 500,
+			             "first-touch-p50-us": 3, "first-touch-p99-us": 12}},
+			{"name": "campaign-parallel/vi",
+			 "metrics": {"serial-s": 120.0, "interruption-p50-s": 14.0,
+			             "interruption-p99-s": 20.0}}
+		]
+	}`)
+	s, err := readSnapshot(v6)
+	if err != nil {
+		t.Fatalf("v6 snapshot no longer decodes: %v", err)
+	}
+	if s.Schema != benchSchemaV6 {
+		t.Fatalf("schema = %q, want %q", s.Schema, benchSchemaV6)
+	}
+	for _, b := range s.Benchmarks {
+		if _, grew := b.Metrics["tier0-first-resume-s"]; grew {
+			t.Fatalf("v6 file grew a /7 metric on decode: %+v", b)
+		}
+		if b.Name == "fleet-stream/mixed-256" {
+			t.Fatalf("v6 file grew a /7 entry on decode: %+v", b)
+		}
+	}
+}
+
+// TestBuildSnapshotV7 runs the real bench scenario once and checks the /7
+// shape: the /2–/6 fields are still there (embedded metrics, normalized
 // logical stamp, fast-path counters, campaign sweep, demand-paged entry with
-// the eager-vs-lazy interruption collapse, WAL data-survival audits), the
-// saved-bytes figure is the actual bytes avoided (bounded by the
-// page-granular estimate), and the new span-plane percentile layer reports
-// first-touch stall and campaign interruption distributions.
-func TestBuildSnapshotV6(t *testing.T) {
+// the eager-vs-lazy interruption collapse, WAL data-survival audits, span
+// percentiles), the saved-bytes figure is the actual bytes avoided (bounded
+// by the page-granular estimate), and the new fleet pair reports per-tier
+// streaming recovery with the index-assisted discovery win.
+func TestBuildSnapshotV7(t *testing.T) {
 	if testing.Short() {
 		t.Skip("bench scenario in -short mode")
 	}
@@ -200,7 +236,7 @@ func TestBuildSnapshotV6(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if snap.Schema != benchSchemaV6 {
+	if snap.Schema != benchSchemaV7 {
 		t.Fatalf("schema = %q", snap.Schema)
 	}
 	if len(snap.Benchmarks) == 0 {
@@ -298,6 +334,41 @@ func TestBuildSnapshotV6(t *testing.T) {
 	}
 	if wal["serial-s"] <= 0 {
 		t.Fatalf("WAL campaign has no modeled work: %+v", wal)
+	}
+	// Schema /7: the fleet pair. The streaming entry must report every
+	// tier, the index discovery must have fed the scanners, and the batch
+	// entry must pin the tier-0 first-resume win at >= 2x.
+	fleet := byName["fleet-stream/mixed-256"]
+	if fleet == nil {
+		t.Fatal("fleet-stream/mixed-256 entry missing")
+	}
+	if fleet["population"] != 256 {
+		t.Fatalf("fleet population = %v, want 256", fleet["population"])
+	}
+	if fleet["index-entries"] <= 0 {
+		t.Fatalf("fleet ran without index discovery: %+v", fleet)
+	}
+	for _, tier := range []string{"tier0", "tier1", "tier2"} {
+		if fleet[tier+"-procs"] <= 0 {
+			t.Fatalf("fleet %s empty: %+v", tier, fleet)
+		}
+		if !(fleet[tier+"-p50-s"] > 0 &&
+			fleet[tier+"-p50-s"] <= fleet[tier+"-p95-s"] &&
+			fleet[tier+"-p95-s"] <= fleet[tier+"-p99-s"]) {
+			t.Fatalf("fleet %s percentiles out of order: %+v", tier, fleet)
+		}
+	}
+	batch := byName["fleet-batch/mixed-256"]
+	if batch == nil {
+		t.Fatal("fleet-batch/mixed-256 entry missing")
+	}
+	if batch["prologue-s"] <= fleet["prologue-s"] {
+		t.Fatalf("index discovery prologue %vs not better than full walk %vs",
+			fleet["prologue-s"], batch["prologue-s"])
+	}
+	if batch["tier0-stream-win-x"] < 2 {
+		t.Fatalf("tier-0 streaming win = %.2fx, want >= 2x (stream %vs, batch %vs)",
+			batch["tier0-stream-win-x"], fleet["tier0-first-resume-s"], batch["tier0-first-resume-s"])
 	}
 }
 

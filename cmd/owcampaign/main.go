@@ -7,7 +7,7 @@
 //	owcampaign [-n perApp] [-seed n] [-apps csv] [-hardening on|off]
 //	           [-nocrc] [-noprotected] [-campaign-workers n]
 //	           [-workers n] [-resurrect-workers n] [-lazy-install]
-//	           [-disk-crash] [-baseline]
+//	           [-stream] [-index-slots n] [-disk-crash] [-baseline]
 //	           [-trace] [-trace-json f] [-metrics] [-metrics-json f]
 //
 // The paper ran 400 faulted experiments per application; -n 400 reproduces
@@ -44,6 +44,8 @@ func main() {
 	campaignWorkers := flag.Int("campaign-workers", 0, "campaign pool width: whole experiments run concurrently (0 = -workers, then NumCPU); the table, attributions and metrics are bit-identical at any width")
 	resWorkers := flag.Int("resurrect-workers", 0, "per-experiment resurrection pipeline workers (0 = NumCPU); changes only the modeled interruption time")
 	lazyInstall := flag.Bool("lazy-install", false, "demand-paged resurrection in every experiment: resume at context install, CRC-validated copy-on-access pages")
+	stream := flag.Bool("stream", false, "streaming resurrection in every experiment: SLO-tier admission and pipelined install commit instead of the batch pass")
+	indexSlots := flag.Int("index-slots", 0, "size every experiment kernel's candidate index; discovery salvages it instead of walking the full process list (0 = off)")
 	diskCrash := flag.Bool("disk-crash", false, "block-layer crash model: at kernel-crash time the volatile write cache may roll back, the in-flight sector may tear, and unflushed dirty pages drain in seeded order; drivers with a platter audit add a data-survival column")
 	baseline := flag.Bool("baseline", false, "no-Otherworld control: cold-reboot and restart the application from disk instead of resurrecting")
 	jsonOut := flag.String("json", "", "also write the rows as JSON to this file")
@@ -59,6 +61,8 @@ func main() {
 	cfg.CampaignWorkers = *campaignWorkers
 	cfg.ResurrectWorkers = *resWorkers
 	cfg.LazyInstall = *lazyInstall
+	cfg.Stream = *stream
+	cfg.IndexSlots = *indexSlots
 	cfg.DiskCrash = *diskCrash
 	cfg.Baseline = *baseline
 	cfg.SkipProtected = *noprotected

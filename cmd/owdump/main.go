@@ -5,11 +5,13 @@
 // printing a crash(8)-style inventory of the dead kernel's processes and
 // resources.
 //
-//	owdump [-app name] [-seed n] [-out file]
+//	owdump [-app name] [-seed n] [-out file] [-index-slots n]
 //
 // -out copies the raw sparse dump to a host file, the input format of
 // `owstat recover` (which digs the dead kernel's metrics segment out of
-// the image).
+// the image). -index-slots sizes the main kernel's candidate index; the
+// command then salvages the index back out of the raw dump, demonstrating
+// that the discovery accelerator survives into a KDump image too.
 package main
 
 import (
@@ -22,6 +24,8 @@ import (
 	"otherworld/internal/experiment"
 	"otherworld/internal/hw"
 	"otherworld/internal/kernel"
+	"otherworld/internal/layout"
+	"otherworld/internal/phys"
 	"otherworld/internal/workload"
 
 	_ "otherworld/internal/apps" // register the paper's applications
@@ -32,18 +36,20 @@ func main() {
 	seed := flag.Int64("seed", 2005, "seed (2005: the year of the KDump paper)")
 	out := flag.String("out", "", "also write the raw sparse dump to this host file (for owstat recover)")
 	flag.Int("campaign-workers", 0, "accepted for flag parity with owcampaign/owbench sweep scripts; a single dump run has no campaign pool")
+	indexSlots := flag.Int("index-slots", 0, "size the main kernel's candidate index and salvage it back out of the raw dump (0 = index off)")
 	flag.Parse()
-	if err := run(*app, *seed, *out); err != nil {
+	if err := run(*app, *seed, *out, *indexSlots); err != nil {
 		fmt.Fprintln(os.Stderr, "owdump:", err)
 		os.Exit(1)
 	}
 }
 
-func run(app string, seed int64, outFile string) error {
+func run(app string, seed int64, outFile string, indexSlots int) error {
 	opts := core.DefaultOptions()
 	opts.HW = hw.Config{MemoryBytes: 256 << 20, NumCPUs: 2, TLBEntries: 64, WatchdogEnabled: true}
 	opts.CrashRegionMB = 16
 	opts.Seed = seed
+	opts.CandidateIndexSlots = indexSlots
 	m, err := core.NewMachine(opts)
 	if err != nil {
 		return err
@@ -90,5 +96,21 @@ func run(app string, seed int64, outFile string) error {
 	}
 	fmt.Println("post-mortem analysis of the dump (what Otherworld instead resurrects live):")
 	fmt.Print(dump.Render(rep))
+
+	// The candidate index rides in the crash reservation, so a KDump image
+	// carries it too: salvage it straight out of the raw dump bytes, the
+	// same parse the crash kernel's discovery prologue runs live.
+	if reg := m.IndexRegion(); reg.Frames > 0 {
+		sal, err := layout.ParseIndex(img, phys.FrameAddr(reg.Start), reg.Frames*phys.PageSize, true)
+		if err != nil {
+			fmt.Printf("\ncandidate index did not survive the dump: %v\n", err)
+			return nil
+		}
+		fmt.Printf("\ncandidate index salvaged from the dump (generation %d, %d live entries, %d slots skipped):\n",
+			sal.Header.Generation, len(sal.Entries), sal.Skipped)
+		for _, e := range sal.Entries {
+			fmt.Printf("  pid %4d  %-16s %-12s descriptor @0x%x\n", e.PID, e.Name, e.Program, e.Addr)
+		}
+	}
 	return nil
 }

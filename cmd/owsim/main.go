@@ -8,6 +8,13 @@
 //
 //	owsim [-app name] [-seed n] [-faults n] [-protect] [-noharden]
 //	      [-metrics] [-metrics-json file]
+//	owsim -fleet N [-tiers "prog=tier,..."] [-fleet-batch] [-seed n]
+//
+// The second form runs the fleet-recovery demo: N mixed server processes
+// crashed at once and recovered through the streaming resurrection pass
+// (index-assisted discovery, SLO-tier admission, pipelined install commit),
+// summarized per tier. -fleet-batch runs the classic batch engine instead,
+// for comparison.
 //
 // -metrics prints the machine's final metrics snapshot (the same registry
 // the crash-surviving segment persists); -metrics-json writes it in the
@@ -24,6 +31,7 @@ import (
 	"otherworld/internal/faultinject"
 	"otherworld/internal/hw"
 	"otherworld/internal/kernel"
+	"otherworld/internal/sched"
 	"otherworld/internal/workload"
 
 	_ "otherworld/internal/apps" // register the paper's applications
@@ -38,14 +46,64 @@ func main() {
 	resWorkers := flag.Int("resurrect-workers", 0, "resurrection pipeline workers (0 = NumCPU); changes only the modeled interruption time")
 	lazyInstall := flag.Bool("lazy-install", false, "demand-paged resurrection: resume at context install, CRC-validated copy-on-access pages, background sweeper")
 	flag.Int("campaign-workers", 0, "accepted for flag parity with owcampaign/owbench sweep scripts; a single narrated run has no campaign pool")
+	fleet := flag.Int("fleet", 0, "run the fleet-recovery demo at this population instead of the single-app demo (streaming resurrection with index-assisted discovery)")
+	tierSpec := flag.String("tiers", "", "fleet tier overrides merged onto the defaults: program=tier pairs, e.g. sh=1 (default mysqld=0, apache-php=1, volano=1, sh=2)")
+	fleetBatch := flag.Bool("fleet-batch", false, "fleet demo only: classic batch resurrection without the candidate index, for comparison against the streaming pass")
 	showMetrics := flag.Bool("metrics", false, "print the final metrics snapshot")
 	metricsJSON := flag.String("metrics-json", "", "write the final metrics snapshot as JSON to this file")
 	flag.Parse()
 
-	if err := run(*app, *seed, *faults, *protect, *noharden, *resWorkers, *lazyInstall, *showMetrics, *metricsJSON); err != nil {
+	var err error
+	if *fleet > 0 {
+		err = runFleet(*fleet, *seed, *tierSpec, *resWorkers, *lazyInstall, *fleetBatch, *showMetrics, *metricsJSON)
+	} else if *tierSpec != "" || *fleetBatch {
+		err = fmt.Errorf("-tiers and -fleet-batch only apply to the fleet demo (-fleet N)")
+	} else {
+		err = run(*app, *seed, *faults, *protect, *noharden, *resWorkers, *lazyInstall, *showMetrics, *metricsJSON)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "owsim:", err)
 		os.Exit(1)
 	}
+}
+
+// runFleet narrates the fleet-recovery scenario: hundreds of mixed servers
+// crashed at once, recovered through either the streaming pass or (with
+// -fleet-batch) the classic batch engine, and summarized per SLO tier.
+func runFleet(population int, seed int64, tierSpec string, resWorkers int, lazy, batch, showMetrics bool, metricsJSON string) error {
+	cfg := experiment.DefaultFleet(population, seed)
+	cfg.Workers = resWorkers
+	cfg.Lazy = lazy
+	if batch {
+		cfg.Stream = false
+		cfg.IndexSlots = 0
+	}
+	if tierSpec != "" {
+		overrides, err := sched.ParseTierSpec(tierSpec)
+		if err != nil {
+			return err
+		}
+		tiers := experiment.DefaultFleetTiers()
+		for prog, t := range overrides {
+			tiers[prog] = t
+		}
+		cfg.Tiers = tiers
+	}
+	mode := "streaming"
+	if batch {
+		mode = "batch"
+	}
+	fmt.Printf("== Otherworld fleet demo: %d processes, %s resurrection (seed %d)\n\n",
+		population, mode, seed)
+	res, err := experiment.FleetRecovery(cfg)
+	if err != nil {
+		return err
+	}
+	m := res.Machine
+	fmt.Printf("[%s] fleet crashed and recovered: %d candidates, interruption %.0fs (serial model)\n",
+		m.HW.Clock, res.Population, res.Outcome.SerialInterruption.Seconds())
+	fmt.Print(res.RenderFleetTable())
+	return emitMetrics(m, showMetrics, metricsJSON)
 }
 
 // emitMetrics handles -metrics/-metrics-json at every exit path that has a

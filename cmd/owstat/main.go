@@ -24,6 +24,7 @@ import (
 	"otherworld/internal/dump"
 	"otherworld/internal/experiment"
 	"otherworld/internal/metrics"
+	"otherworld/internal/sched"
 	"otherworld/internal/spans"
 )
 
@@ -73,9 +74,12 @@ func usage(w io.Writer) {
   owstat recover [-prom] [-json f] vmcore recover the metrics segment from a raw dump
   owstat timeline [-app NAME] [-seed N] [-lazy] [-resurrect-workers N]
                   [-analysis-workers N] [-perfetto f]
+                  [-fleet N] [-tiers "prog=tier,..."]
                                           run a crash-and-resurrect scenario and print
                                           its causal span tree; -perfetto also writes
-                                          Chrome trace-event JSON loadable in Perfetto
+                                          Chrome trace-event JSON loadable in Perfetto;
+                                          -fleet N runs the fleet-recovery scenario
+                                          (streaming admission, per-tier table first)
 `)
 }
 
@@ -149,15 +153,46 @@ func cmdTimeline(args []string, out io.Writer) error {
 	resWorkers := fs.Int("resurrect-workers", 0, "live resurrection pool width (0 = NumCPU); cannot change the tree")
 	analysisWorkers := fs.Int("analysis-workers", 0, "critical-path analysis width (0 = canonical)")
 	perfetto := fs.String("perfetto", "", "also write Chrome trace-event JSON (Perfetto-loadable) to this file")
+	fleet := fs.Int("fleet", 0, "run the fleet-recovery scenario at this population instead of -app (streaming resurrection, index-assisted discovery, per-tier table + tier lanes)")
+	tierSpec := fs.String("tiers", "", "fleet tier overrides merged onto the defaults: comma-separated program=tier pairs, e.g. sh=1 (default mysqld=0, apache-php=1, volano=1, sh=2)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 0 {
 		return fmt.Errorf("timeline: unexpected arguments %v", fs.Args())
 	}
+	if *tierSpec != "" && *fleet <= 0 {
+		return fmt.Errorf("timeline: -tiers only applies to the fleet scenario (-fleet N)")
+	}
 
 	var tree *spans.Tree
-	if *app == "mysql-x8" {
+	if *fleet > 0 {
+		cfg := experiment.DefaultFleet(*fleet, *seed)
+		cfg.Workers = *resWorkers
+		cfg.Lazy = *lazy
+		if *tierSpec != "" {
+			overrides, err := sched.ParseTierSpec(*tierSpec)
+			if err != nil {
+				return fmt.Errorf("timeline: %w", err)
+			}
+			tiers := experiment.DefaultFleetTiers()
+			for prog, t := range overrides {
+				tiers[prog] = t
+			}
+			cfg.Tiers = tiers
+		}
+		res, err := experiment.FleetRecovery(cfg)
+		if err != nil {
+			return fmt.Errorf("timeline: %w", err)
+		}
+		if _, err := io.WriteString(out, res.RenderFleetTable()); err != nil {
+			return err
+		}
+		tree, err = res.FleetSpanTree(*seed, *lazy, *analysisWorkers)
+		if err != nil {
+			return fmt.Errorf("timeline: %w", err)
+		}
+	} else if *app == "mysql-x8" {
 		fo, m, err := experiment.MultiMySQLRecovery(*seed, *resWorkers, *lazy)
 		if err != nil {
 			return fmt.Errorf("timeline: %w", err)

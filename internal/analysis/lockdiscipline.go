@@ -8,8 +8,9 @@ import (
 )
 
 // LockDiscipline polices the concurrent packages (the campaign worker
-// pool in experiment, the machine core it drives, the trace ring) beyond
-// what go vet's copylocks catches:
+// pool in experiment, the machine core it drives, the trace ring, and the
+// admission scheduler the streaming resurrection pass shares between
+// workers) beyond what go vet's copylocks catches:
 //
 //   - sync.Mutex/RWMutex (or structs containing one) passed or returned by
 //     value, which silently forks the lock;
@@ -21,7 +22,7 @@ var LockDiscipline = &Analyzer{
 	Name: "lockdiscipline",
 	Doc: "flag lock-by-value copies and return-while-locked patterns in " +
 		"the concurrent packages",
-	Scope: []string{"internal/experiment", "internal/trace", "internal/core"},
+	Scope: []string{"internal/experiment", "internal/trace", "internal/core", "internal/sched"},
 	Run:   runLockDiscipline,
 }
 

@@ -2,7 +2,11 @@
 // fixtures: its functions return errors that callers must handle.
 package layout
 
-import "fixture/internal/phys"
+import (
+	"sort"
+
+	"fixture/internal/phys"
+)
 
 // ReadContext mimics the real (context, ok, error) triple.
 func ReadContext(m *phys.Mem, addr uint64) (uint64, bool, error) {
@@ -16,4 +20,25 @@ func ReadContext(m *phys.Mem, addr uint64) (uint64, bool, error) {
 // ReadProc mimics a record parse returning the next-record address.
 func ReadProc(m *phys.Mem, addr uint64) (uint64, error) {
 	return m.ReadU64(addr)
+}
+
+// renderIndexUnsorted mimics flattening the index writer's slot-occupancy
+// map straight into a result: map order varies run to run, so salvaged
+// entry order would too (nodeterminism scope now covers this package).
+func renderIndexUnsorted(byPID map[uint32]int) []int {
+	var slots []int
+	for _, slot := range byPID { // want `never sorted`
+		slots = append(slots, slot)
+	}
+	return slots
+}
+
+// renderIndexSorted is the compliant shape: a total ordering before use.
+func renderIndexSorted(byPID map[uint32]int) []int {
+	slots := make([]int, 0, len(byPID))
+	for _, slot := range byPID {
+		slots = append(slots, slot)
+	}
+	sort.Ints(slots)
+	return slots
 }

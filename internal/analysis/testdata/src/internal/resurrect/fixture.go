@@ -75,6 +75,19 @@ func pteFrameValue(p pte) func() int {
 	return p.Frame
 }
 
+// indexSalvageDirect mimics discovery salvaging the candidate index by
+// reading the reservation bytes directly — bypassing the Table 4 byte
+// accounting the counting reader exists for.
+func indexSalvageDirect(m *phys.Mem, base uint64) (uint64, error) {
+	return m.ReadU64(base) // want `direct phys\.Mem\.ReadU64`
+}
+
+// indexSalvageAccounted is the compliant shape: the index region's bytes
+// flow through the counting reader like every other dead-kernel read.
+func indexSalvageAccounted(r *reader, base uint64) (uint64, error) {
+	return r.word(base)
+}
+
 func allowedValue(m *phys.Mem) func(uint64) (uint64, error) {
 	//owvet:allow crosskernel: boot-time self-test probe, not dead-kernel parsing
 	return m.ReadU64

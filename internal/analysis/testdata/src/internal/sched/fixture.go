@@ -1,0 +1,90 @@
+// Package sched exercises nodeterminism and lockdiscipline over the
+// admission scheduler's scope: admission order must be a pure function of
+// the queue's inputs, and the queue shared by the streaming pass's workers
+// must never have its lock forked by a copy.
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+type item struct {
+	tier int
+	key  uint32
+}
+
+// admitByMapOrder is the bug the real queue exists to prevent: feeding the
+// admission order straight out of a map range.
+func admitByMapOrder(pending map[uint32]int) []item {
+	var order []item
+	for pid, tier := range pending { // want `never sorted`
+		order = append(order, item{tier: tier, key: pid})
+	}
+	return order
+}
+
+// admitSorted is the compliant shape: a total ordering over the same map.
+func admitSorted(pending map[uint32]int) []item {
+	order := make([]item, 0, len(pending))
+	for pid, tier := range pending {
+		order = append(order, item{tier: tier, key: pid})
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].key < order[j].key })
+	return order
+}
+
+// wallClockAging would make aging depend on host scheduling instead of pop
+// counts.
+func wallClockAging(arrival time.Time) time.Duration {
+	return time.Since(arrival) // want `time\.Since reads the wall clock`
+}
+
+func popCountAging(pops, arrival int) int {
+	return pops - arrival
+}
+
+func printQueue(byTier map[int]int) {
+	for tier, n := range byTier { // want `map iteration order feeds fmt output`
+		fmt.Println(tier, n)
+	}
+}
+
+// lockedQueue mimics the shared admission queue guarded for the worker pool.
+type lockedQueue struct {
+	mu    sync.Mutex
+	items []item
+}
+
+func popByValue(q lockedQueue) int { // want `passes a sync\.Mutex by value`
+	return len(q.items)
+}
+
+func popShared(q *lockedQueue) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+func returnWhileLocked(q *lockedQueue, drain bool) int {
+	q.mu.Lock()
+	if drain {
+		return len(q.items) // want `return while q\.mu may still be locked`
+	}
+	n := len(q.items)
+	q.mu.Unlock()
+	return n
+}
+
+func allowedWallClock() int64 {
+	//owvet:allow nodeterminism: fixture demonstrates the suppression in the scheduler scope
+	return time.Now().UnixNano()
+}
+
+func allowedQueueCopy(q *lockedQueue) int {
+	//owvet:allow lockdiscipline: snapshot taken before the pool starts, single-threaded
+	snapshot := *q
+	return len(snapshot.items)
+}

@@ -15,6 +15,7 @@ import (
 	"otherworld/internal/fs"
 	"otherworld/internal/hw"
 	"otherworld/internal/kernel"
+	"otherworld/internal/layout"
 	"otherworld/internal/metrics"
 	"otherworld/internal/phys"
 	"otherworld/internal/resurrect"
@@ -70,6 +71,13 @@ type Options struct {
 	// metrics plane entirely (Machine.Metrics() returns nil and every
 	// instrument becomes a no-op).
 	MetricsPages int
+	// CandidateIndexSlots sizes the crash-surviving candidate index (in
+	// process entries) carved out of each slot's tail between the ring and
+	// the metrics segment; 0 disables the index, and resurrection
+	// discovers candidates by the full process-list walk. The index lets
+	// the crash kernel seed scanners directly at fleet-sized populations
+	// (see internal/layout's candidate index).
+	CandidateIndexSlots int
 	// DiskCrash configures the block-layer crash model. Zero value
 	// disables it: writes reach the platter directly and durably, and
 	// failure handling never touches the disk — the pre-model behavior,
@@ -133,6 +141,11 @@ type Machine struct {
 	traceFrames int
 	// tracer is the current main kernel's flight recorder (nil if off).
 	tracer *trace.Ring
+	// indexFrames is the candidate-index tail between the ring and the
+	// metrics segment; candIndex is the current main kernel's index
+	// writer (nil when the index is off).
+	indexFrames int
+	candIndex   *layout.IndexWriter
 	// metricsFrames is the metrics-segment tail behind the ring; metrics
 	// is the machine-lifetime registry (nil when the plane is off).
 	metricsFrames    int
@@ -273,6 +286,15 @@ func NewMachine(opts Options) (*Machine, error) {
 	if m.metricsFrames > crashFrames/4 {
 		m.metricsFrames = crashFrames / 4
 	}
+	// The candidate index sits between the ring and the metrics segment;
+	// like them it is bounded so the image keeps the bulk of the slot.
+	if opts.CandidateIndexSlots > 0 {
+		idxBytes := (opts.CandidateIndexSlots + 1) * layout.IndexSlotSize
+		m.indexFrames = (idxBytes + phys.PageSize - 1) / phys.PageSize
+		if m.indexFrames > crashFrames/8 {
+			m.indexFrames = crashFrames / 8
+		}
+	}
 	if m.metricsFrames > 0 {
 		m.metrics = metrics.NewRegistry()
 	}
@@ -303,6 +325,7 @@ func NewMachine(opts Options) (*Machine, error) {
 		return nil, fmt.Errorf("core: load crash image: %w", err)
 	}
 	m.attachTracer(k)
+	m.attachIndex(k)
 	m.attachMetrics()
 	return m, nil
 }
@@ -313,7 +336,7 @@ func (m *Machine) DiskModel() *disk.CrashModel { return m.diskModel }
 // imageRegion is the write-protected crash-image part of a slot: the slot
 // minus the unprotected ring and metrics tails.
 func (m *Machine) imageRegion(slot phys.Region) phys.Region {
-	return phys.Region{Start: slot.Start, Frames: slot.Frames - m.traceFrames - m.metricsFrames}
+	return phys.Region{Start: slot.Start, Frames: slot.Frames - m.traceFrames - m.indexFrames - m.metricsFrames}
 }
 
 // ringRegion is the unprotected flight-recorder tail of a slot. The ring
@@ -326,6 +349,23 @@ func (m *Machine) ringRegion(slot phys.Region) phys.Region {
 	}
 	img := m.imageRegion(slot)
 	return phys.Region{Start: img.End(), Frames: m.traceFrames}
+}
+
+// indexRegion is the unprotected candidate-index tail of a slot, between
+// the flight-recorder ring and the metrics segment.
+func (m *Machine) indexRegion(slot phys.Region) phys.Region {
+	if m.indexFrames == 0 {
+		return phys.Region{}
+	}
+	img := m.imageRegion(slot)
+	return phys.Region{Start: img.End() + m.traceFrames, Frames: m.indexFrames}
+}
+
+// IndexRegion returns the physical region of the active candidate index
+// (zero region when the index is off), for tests and tools that want to
+// inspect or corrupt it.
+func (m *Machine) IndexRegion() phys.Region {
+	return m.indexRegion(m.slots[m.imageSlot])
 }
 
 // metricsRegion is the unprotected metrics-segment tail of a slot,
@@ -366,6 +406,38 @@ func (m *Machine) attachTracer(k *kernel.Kernel) {
 	ring.Record(trace.Event{Kind: trace.KindBoot, A: uint64(k.Globals.BootCount)})
 	k.Tracer = ring
 	m.tracer = ring
+}
+
+// attachIndex gives kernel k a fresh candidate index over the active
+// slot's index tail and repopulates it from the kernel's live processes
+// (after a morph the resurrected processes were created before the new
+// index existed). Index frames are tagged FrameReserved so no allocator
+// ever hands them out. Generation is the kernel sequence number, so a
+// stale index from an earlier generation can never masquerade as current.
+func (m *Machine) attachIndex(k *kernel.Kernel) {
+	if m.indexFrames == 0 {
+		return
+	}
+	reg := m.indexRegion(m.slots[m.imageSlot])
+	for f := reg.Start; f < reg.End(); f++ {
+		_ = m.HW.Mem.Protect(f, false)              //owvet:allow errdrop: index region was bounds-checked at machine construction
+		_ = m.HW.Mem.SetKind(f, phys.FrameReserved) //owvet:allow errdrop: same validated frame as the line above
+	}
+	slots := reg.Frames * phys.PageSize / layout.IndexSlotSize
+	w, err := layout.NewIndexWriter(m.HW.Mem, phys.FrameAddr(reg.Start), slots, uint64(m.kernelSeq))
+	if err != nil {
+		// An unwritable index is strictly a lost optimization: the next
+		// crash falls back to the full process-list walk.
+		k.CandIndex = nil
+		m.candIndex = nil
+		return
+	}
+	for _, p := range k.Procs() {
+		//owvet:allow errdrop: a full index only drops the accelerator entry; the full walk still finds the process
+		_ = w.Put(p.PID, p.Addr, p.D.Name, p.D.Program, p.D.CrashProc)
+	}
+	k.CandIndex = w
+	m.candIndex = w
 }
 
 // kernelParams assembles kernel parameters for the next kernel generation.
@@ -504,6 +576,7 @@ func (m *Machine) HandleFailure() (*FailureOutcome, error) {
 	engine.ResurrectIPC = m.opts.ResurrectIPC
 	engine.LazyInstall = m.opts.LazyInstall
 	engine.TraceRegion = m.ringRegion(img)
+	engine.IndexRegion = m.indexRegion(img)
 	engine.Metrics = m.metrics
 	out.Report = engine.Run(m.opts.Resurrection)
 
@@ -534,6 +607,7 @@ func (m *Machine) HandleFailure() (*FailureOutcome, error) {
 		return nil, fmt.Errorf("core: load fresh crash image: %w", err)
 	}
 	m.attachTracer(crashK)
+	m.attachIndex(crashK)
 	if out.DiskCrash != nil && crashK.Tracer != nil {
 		crashK.Tracer.Record(trace.Event{
 			Kind: trace.KindDiskCrash,
@@ -664,6 +738,7 @@ func (m *Machine) ColdReboot() error {
 		return err
 	}
 	m.attachTracer(k)
+	m.attachIndex(k)
 	m.attachMetrics()
 	return nil
 }

@@ -104,6 +104,11 @@ type CampaignConfig struct {
 	// LazyInstall runs every experiment with the demand-paged resurrection
 	// install (resume at context install, validated copy-on-access pages).
 	LazyInstall bool
+	// Stream runs every experiment through the streaming resurrection pass
+	// (tier admission + pipelined install commit).
+	Stream bool
+	// IndexSlots sizes every experiment kernel's candidate index (0 = off).
+	IndexSlots int
 	// DiskCrash runs every experiment with the block-layer crash model.
 	DiskCrash bool
 	// Baseline replaces resurrection with a cold reboot plus application
@@ -283,6 +288,8 @@ func runCampaignPass(cfg CampaignConfig, app string, protection bool, want int, 
 				ecfg.VerifyCRC = cfg.VerifyCRC
 				ecfg.ResurrectWorkers = cfg.ResurrectWorkers
 				ecfg.LazyInstall = cfg.LazyInstall
+				ecfg.Stream = cfg.Stream
+				ecfg.IndexSlots = cfg.IndexSlots
 				ecfg.DiskCrash = cfg.DiskCrash
 				ecfg.Baseline = cfg.Baseline
 				if cfg.MemoryMB > 0 {
@@ -464,21 +471,27 @@ func RunTable5Campaign(cfg CampaignConfig) ([]Table5Row, *CampaignStats) {
 			row.ResurrectFail = float64(base.resurrect) / float64(base.n)
 			row.CorruptNoProt = float64(base.corrupt) / float64(base.n)
 		}
+		// pct is safe here: every call sits behind a non-empty guard, so
+		// the ok return can only be true.
+		pct := func(s []time.Duration, p int) time.Duration {
+			d, _ := spans.Percentile(s, p)
+			return d
+		}
 		if base.success > 0 {
 			row.MeanInterruption = base.interruption / time.Duration(base.success)
 			row.MeanParallelInterruption = base.parInterruption / time.Duration(base.success)
-			row.P50Interruption = spans.Percentile(base.interruptions, 50)
-			row.P95Interruption = spans.Percentile(base.interruptions, 95)
-			row.P99Interruption = spans.Percentile(base.interruptions, 99)
-			row.P50ParallelInterruption = spans.Percentile(base.parInterruptions, 50)
-			row.P95ParallelInterruption = spans.Percentile(base.parInterruptions, 95)
-			row.P99ParallelInterruption = spans.Percentile(base.parInterruptions, 99)
+			row.P50Interruption = pct(base.interruptions, 50)
+			row.P95Interruption = pct(base.interruptions, 95)
+			row.P99Interruption = pct(base.interruptions, 99)
+			row.P50ParallelInterruption = pct(base.parInterruptions, 50)
+			row.P95ParallelInterruption = pct(base.parInterruptions, 95)
+			row.P99ParallelInterruption = pct(base.parInterruptions, 99)
 		}
 		row.FirstTouchSamples = len(base.firstTouch)
 		if row.FirstTouchSamples > 0 {
-			row.P50FirstTouch = spans.Percentile(base.firstTouch, 50)
-			row.P95FirstTouch = spans.Percentile(base.firstTouch, 95)
-			row.P99FirstTouch = spans.Percentile(base.firstTouch, 99)
+			row.P50FirstTouch = pct(base.firstTouch, 50)
+			row.P95FirstTouch = pct(base.firstTouch, 95)
+			row.P99FirstTouch = pct(base.firstTouch, 99)
 		}
 		if !cfg.SkipProtected {
 			prot, pdurs := runCampaignPass(cfg, app, true, cfg.PerApp, passSeedSalt(i, 1, passCount))
@@ -538,11 +551,18 @@ func RenderTable5(rows []Table5Row) string {
 	}
 	b.WriteString("\n")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-11s %12.2f%% %16.2f%% %20.2f%% %14.2f%% / %.2f%% %14.0fs / %.0fs %11.0f/%.0f/%.0fs",
+		fmt.Fprintf(&b, "%-11s %12.2f%% %16.2f%% %20.2f%% %14.2f%% / %.2f%% %14.0fs / %.0fs",
 			r.App, 100*r.Success, 100*r.BootFailure, 100*r.ResurrectFail,
 			100*r.CorruptProt, 100*r.CorruptNoProt,
-			r.MeanInterruption.Seconds(), r.MeanParallelInterruption.Seconds(),
-			r.P50Interruption.Seconds(), r.P95Interruption.Seconds(), r.P99Interruption.Seconds())
+			r.MeanInterruption.Seconds(), r.MeanParallelInterruption.Seconds())
+		if r.Success > 0 {
+			fmt.Fprintf(&b, " %11.0f/%.0f/%.0fs",
+				r.P50Interruption.Seconds(), r.P95Interruption.Seconds(), r.P99Interruption.Seconds())
+		} else {
+			// No successful recoveries: a percentile over zero samples is
+			// not 0s, so don't fake a "0/0/0s" cell.
+			fmt.Fprintf(&b, " %15s", "n/a")
+		}
 		if withData {
 			if r.DataChecked > 0 {
 				fmt.Fprintf(&b, " %9d/%-5d", r.DataChecked-r.DataViolations, r.DataChecked)

@@ -119,6 +119,14 @@ type Config struct {
 	// resume as soon as their records parse, with page copies completed
 	// copy-on-access (CRC-validated) or by the background sweeper.
 	LazyInstall bool
+	// Stream runs resurrection as the streaming pass: SLO-tier admission
+	// ordering and pipelined per-candidate install commit instead of the
+	// classic scan-everything-then-install batch.
+	Stream bool
+	// IndexSlots sizes the main kernel's candidate index in the crash
+	// reservation (0 = none); discovery salvages it to skip the full
+	// process-list walk.
+	IndexSlots int
 	// DiskCrash enables the block-layer crash model: at kernel-crash time
 	// the volatile write cache may roll back, the in-flight sector write may
 	// tear, and dirty page-cache pages that resurrection did not flush drain
@@ -271,7 +279,9 @@ func runBody(cfg Config, mp **core.Machine) Result {
 	opts.Hardening = cfg.Hardening
 	opts.Seed = cfg.Seed
 	opts.Resurrection.Workers = cfg.ResurrectWorkers
+	opts.Resurrection.Stream = cfg.Stream
 	opts.LazyInstall = cfg.LazyInstall
+	opts.CandidateIndexSlots = cfg.IndexSlots
 	opts.DiskCrash.Enabled = cfg.DiskCrash
 
 	m, err := core.NewMachine(opts)

@@ -302,7 +302,7 @@ func MeasureTable6(app string, seed int64) (Table6Row, error) {
 	if err != nil {
 		return Table6Row{}, fmt.Errorf("lazy install: %w", err)
 	}
-	return Table6Row{
+	row := Table6Row{
 		App:                      app,
 		BootTime:                 boot,
 		Interruption:             serial,
@@ -310,10 +310,15 @@ func MeasureTable6(app string, seed int64) (Table6Row, error) {
 		LazyInterruption:         lazySerial,
 		LazyParallelInterruption: lazyParallel,
 		FirstTouchSamples:        len(firstTouch),
-		P50FirstTouch:            spans.Percentile(firstTouch, 50),
-		P95FirstTouch:            spans.Percentile(firstTouch, 95),
-		P99FirstTouch:            spans.Percentile(firstTouch, 99),
-	}, nil
+	}
+	// Percentiles only exist when the lazy run recorded stalls; rows with
+	// zero samples keep zero fields and render as n/a.
+	if len(firstTouch) > 0 {
+		row.P50FirstTouch, _ = spans.Percentile(firstTouch, 50)
+		row.P95FirstTouch, _ = spans.Percentile(firstTouch, 95)
+		row.P99FirstTouch, _ = spans.Percentile(firstTouch, 99)
+	}
+	return row, nil
 }
 
 // RunTable6 measures every Table 6 workload.
@@ -343,12 +348,16 @@ func RenderTable6(rows []Table6Row) string {
 		fmt.Sprintf("lazy (%dw)", resurrect.CanonicalWorkers),
 		"first-touch p50/p95/p99")
 	for _, r := range rows {
+		stalls := "n/a"
+		if r.FirstTouchSamples > 0 {
+			stalls = fmt.Sprintf("%v/%v/%v", r.P50FirstTouch, r.P95FirstTouch, r.P99FirstTouch)
+		}
 		fmt.Fprintf(&b, "%-11s %9.0fs %25.0fs %16.0fs %16.3fs %16.3fs %14s n=%d\n",
 			r.App, r.BootTime.Seconds(), r.Interruption.Seconds(),
 			r.ParallelInterruption.Seconds(),
 			r.LazyInterruption.Seconds(),
 			r.LazyParallelInterruption.Seconds(),
-			fmt.Sprintf("%v/%v/%v", r.P50FirstTouch, r.P95FirstTouch, r.P99FirstTouch),
+			stalls,
 			r.FirstTouchSamples)
 	}
 	return b.String()

@@ -193,6 +193,13 @@ type Kernel struct {
 	// and a speculated PTE is a page-table corruption.
 	Spec SpeculationResolver
 
+	// CandIndex is the crash-surviving candidate index writer, attached by
+	// core alongside the tracer: every process create/exit and
+	// crash-procedure registration is written through so the crash kernel
+	// can seed resurrection scanners without walking the whole process
+	// list. nil (index off) is always safe.
+	CandIndex *layout.IndexWriter
+
 	// resurrectionLog collects one-line events for the narrated demo.
 	Log []string
 }

@@ -179,6 +179,7 @@ func (k *Kernel) CreateProcess(name, program string) (*Process, error) {
 	if err := k.syncGlobals(); err != nil {
 		return nil, err
 	}
+	k.indexPut(p)
 
 	k.procs[pid] = p
 	k.procOrder = append(k.procOrder, pid)
@@ -222,7 +223,21 @@ func (k *Kernel) RegisterCrashProcedure(p *Process, crashProc string) error {
 		return fmt.Errorf("kernel: crash procedure name too long")
 	}
 	p.D.CrashProc = crashProc
-	return k.writeProc(p)
+	if err := k.writeProc(p); err != nil {
+		return err
+	}
+	k.indexPut(p)
+	return nil
+}
+
+// indexPut writes the process through to the candidate index (no-op when
+// the index is off or full — the full-walk fallback still finds it).
+func (k *Kernel) indexPut(p *Process) {
+	if k.CandIndex == nil {
+		return
+	}
+	//owvet:allow errdrop: a full or unwritable index only loses the accelerator entry, never the candidate
+	_ = k.CandIndex.Put(p.PID, p.Addr, p.D.Name, p.D.Program, p.D.CrashProc)
 }
 
 // Exit terminates the process and unlinks its descriptor from the kernel
@@ -233,6 +248,10 @@ func (k *Kernel) Exit(p *Process, code int) error {
 	p.D.State = layout.ProcZombie
 	if err := k.writeProc(p); err != nil {
 		return err
+	}
+	if k.CandIndex != nil {
+		//owvet:allow errdrop: a failed tombstone leaves a zombie entry the salvage-time descriptor check drops anyway
+		_ = k.CandIndex.Delete(p.PID)
 	}
 	// Unlink from the list so resurrection does not see a zombie.
 	if k.Globals.ProcListHead == p.Addr {

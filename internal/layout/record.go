@@ -64,12 +64,20 @@ const (
 	TypeSocket
 	// TypeCachePage is one page-cache entry (file offset, frame, dirty).
 	TypeCachePage
+	// TypeIndexHeader is the candidate-index header slot the main kernel
+	// maintains in the crash reservation so the crash kernel can seed
+	// resurrection scanners without walking the whole dead heap.
+	TypeIndexHeader
+	// TypeIndexEntry is one candidate-index slot: a compact pointer to a
+	// live process descriptor (PID, record address, generation, names).
+	TypeIndexEntry
 	typeMax
 )
 
 var typeNames = [...]string{
 	"invalid", "globals", "proc", "memregion", "file", "swaptable",
 	"terminal", "signals", "shm", "pipe", "socket", "cachepage",
+	"indexheader", "indexentry",
 }
 
 func (t Type) String() string {

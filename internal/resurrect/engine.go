@@ -25,6 +25,7 @@ import (
 	"otherworld/internal/layout"
 	"otherworld/internal/metrics"
 	"otherworld/internal/phys"
+	"otherworld/internal/sched"
 	"otherworld/internal/sim"
 	"otherworld/internal/trace"
 )
@@ -48,13 +49,18 @@ const (
 	// deliberately not a kernelDataCats member: Table 4 measures the data
 	// needed to rebuild processes, and the ring is diagnostic only.
 	CatTrace = "trace"
+	// CatIndex counts the dead kernel's candidate index — the compact
+	// per-process record extents the index-assisted walker salvages
+	// instead of walking the whole process list. Zero when the index is
+	// off, so legacy ledgers are unchanged.
+	CatIndex = "index"
 )
 
 // kernelDataCats are the categories Table 4 counts as main-kernel data (it
 // excludes the application page contents themselves).
 var kernelDataCats = []string{
 	CatGlobals, CatProc, CatRegion, CatPageTable, CatFile, CatCache,
-	CatTerminal, CatSignals, CatShm, CatIPC, CatContext,
+	CatTerminal, CatSignals, CatShm, CatIPC, CatContext, CatIndex,
 }
 
 // Accounting tallies bytes read from the dead kernel's memory.
@@ -144,6 +150,30 @@ type Config struct {
 	// rendered table — only the live schedule the machine clock models;
 	// see Report.Fingerprint and ScheduleAt.
 	Workers int
+	// Stream enables streaming resurrection: candidates are admitted in
+	// SLO-tier order through a deterministic priority queue (internal/
+	// sched) and the install commit is pipelined per candidate behind a
+	// tier-then-PID-order cursor, so the first tier-0 process resumes as
+	// soon as its own scan and commit are done instead of waiting for the
+	// whole batch's scan barrier. Off (the default) preserves the classic
+	// scan-then-install batch pass byte for byte.
+	Stream bool
+	// Tiers maps a program name to its admission tier (0 critical … 2
+	// batch) when streaming; programs not listed get DefaultTier. Lookup
+	// only — never iterated — so map order cannot leak into the schedule.
+	Tiers map[string]int
+}
+
+// DefaultTier is the admission tier for programs Config.Tiers does not
+// name.
+const DefaultTier = sched.TierStandard
+
+// TierOf resolves a program's admission tier.
+func (c Config) TierOf(program string) int {
+	if t, ok := c.Tiers[program]; ok {
+		return sched.ClampTier(t)
+	}
+	return DefaultTier
 }
 
 // Wants reports whether the configuration selects the candidate.
@@ -270,6 +300,27 @@ type Report struct {
 	// PerCandidate is each selected candidate's scan+install virtual
 	// time, in stable candidate order — the input ScheduleAt replays.
 	PerCandidate []time.Duration
+	// PerScan / PerInstall split each candidate's virtual time into its
+	// read-only scan and its full install (crash procedure included), in
+	// the same order as Procs/PerCandidate. They feed the pipelined-commit
+	// schedule model (ScheduleAt for streamed passes, FirstResumeAt for
+	// both). Width-independent like PerCandidate.
+	PerScan    []time.Duration
+	PerInstall []time.Duration
+	// Streamed records that this pass ran the streaming (admission-
+	// scheduled, pipelined-commit) path; Tiers is then each candidate's
+	// admission tier, aligned with Procs. Both are fingerprinted only for
+	// streamed passes, so classic-path goldens are untouched.
+	Streamed bool
+	Tiers    []int
+	// IndexUsed / IndexSkipped report index-assisted discovery: entries
+	// salvaged from the dead kernel's candidate index, and slots skipped
+	// as corrupt or stale (skip-and-count). IndexFallback carries the
+	// "index-salvage: …" attribution when the index was present but
+	// unusable and discovery fell back to the full process-list walk.
+	IndexUsed     int
+	IndexSkipped  int
+	IndexFallback string
 	// Parallel is the live schedule this pass actually executed. It is
 	// the only worker-count-dependent block in the report and is
 	// excluded from Fingerprint.
@@ -333,6 +384,11 @@ type Engine struct {
 	// when tracing is off); Run parses it into Report.Trace through the
 	// counting reader.
 	TraceRegion phys.Region
+	// IndexRegion is the dead kernel's candidate index (zero region when
+	// the index is off); discovery salvages it through the counting
+	// reader and falls back to the full process-list walk when it is
+	// missing or corrupt.
+	IndexRegion phys.Region
 	// Metrics receives the pass's instrumentation (nil disables). Scan
 	// workers write concurrently — counter adds only, with per-candidate
 	// values that are pure functions of the candidate — and the rest is
@@ -449,7 +505,7 @@ func (e *Engine) Run(cfg Config) *Report {
 		// was doing when it died.
 		rep.Trace = trace.Parse(e.rd.at(CatTrace), e.TraceRegion)
 	}
-	cands, err := e.ListCandidates()
+	cands, err := e.discoverCandidates(rep)
 	rep.Candidates = cands
 	if err != nil && len(cands) == 0 {
 		// Anchor corrupt: every selected process fails.
@@ -473,6 +529,10 @@ func (e *Engine) Run(cfg Config) *Report {
 		if cfg.Wants(cand) {
 			selected = append(selected, cand)
 		}
+	}
+	if cfg.Stream {
+		e.runStream(cfg, rep, selected, mainSwap, start)
+		return rep
 	}
 	workers := cfg.effectiveWorkers(len(selected))
 	rep.Prologue = e.K.M.Clock.Since(start)
@@ -556,6 +616,12 @@ func (e *Engine) Run(cfg Config) *Report {
 
 	rep.Acct = e.acct
 	rep.PerCandidate = perCand
+	rep.PerScan = make([]time.Duration, len(plans))
+	rep.PerInstall = make([]time.Duration, len(plans))
+	for i, pl := range plans {
+		rep.PerScan[i] = pl.scanDur
+		rep.PerInstall[i] = totals[i] - pl.scanDur
+	}
 	spans := shardSpans(perCand, workers)
 	totalSpans := shardSpans(totals, workers)
 	critical := maxSpan(totalSpans)
@@ -629,6 +695,22 @@ func (r *Report) Fingerprint() string {
 	fmt.Fprintf(&b, "prologue=%v duration=%v\n", r.Prologue, r.Duration)
 	for i, d := range r.PerCandidate {
 		fmt.Fprintf(&b, "percand[%d]=%v\n", i, d)
+	}
+	// Stream/index lines are printed only when those features ran, so every
+	// classic-path golden stays byte-identical.
+	if r.IndexUsed > 0 || r.IndexSkipped > 0 || r.IndexFallback != "" {
+		fmt.Fprintf(&b, "index used=%d skipped=%d fallback=%q\n",
+			r.IndexUsed, r.IndexSkipped, r.IndexFallback)
+	}
+	if r.Streamed {
+		for i := range r.PerScan {
+			tier := 0
+			if i < len(r.Tiers) {
+				tier = r.Tiers[i]
+			}
+			fmt.Fprintf(&b, "admit[%d] tier=%d scan=%v install=%v\n",
+				i, tier, r.PerScan[i], r.PerInstall[i])
+		}
 	}
 	for _, ev := range r.ScanTrace {
 		fmt.Fprintf(&b, "ev %v\n", ev)

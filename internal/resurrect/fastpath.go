@@ -85,32 +85,52 @@ func pageLiveBytes(regions []*layout.MemRegion, va uint64) int64 {
 // scan-pool width): "fastpath" for eager candidates, "speculate" for lazy
 // ones.
 func (e *Engine) classifyPlans(plans []*plan) []trace.Event {
-	cost := e.K.Cost()
-	cache := make(map[uint64][]byte)
-	// proposed tracks dead frames already promised to an earlier
-	// candidate's speculation: two page tables referencing one frame (COW
-	// sharing) cannot both adopt it, so the later candidate falls back.
-	proposed := make(map[int]bool)
+	ctx := e.newClassifyCtx()
 	var events []trace.Event
 	for _, pl := range plans {
-		if e.LazyInstall {
-			if reason := e.vetSpeculation(pl, proposed); reason == "" {
-				pl.lazy = true
-			} else {
-				pl.fallbackReason = reason
-			}
-		}
-		var ev *trace.Event
-		if pl.lazy {
-			ev = e.classifyLazy(pl, cost)
-		} else {
-			ev = e.classifyEager(pl, cost, cache)
-		}
-		if ev != nil {
+		if ev := e.classifyPlan(pl, ctx); ev != nil {
 			events = append(events, *ev)
 		}
 	}
 	return events
+}
+
+// classifyCtx is the cross-candidate classification state: the dedup
+// cache's canonical copies and the dead frames already promised to an
+// earlier candidate's speculation (two page tables referencing one frame
+// — COW sharing — cannot both adopt it, so the later candidate falls
+// back). The streaming pass shares one ctx across its pipelined commits,
+// which run in strict admission order, so which copy is canonical stays a
+// pure function of the admission sequence at any worker width.
+type classifyCtx struct {
+	cost     sim.CostModel
+	cache    map[uint64][]byte
+	proposed map[int]bool
+}
+
+func (e *Engine) newClassifyCtx() *classifyCtx {
+	return &classifyCtx{
+		cost:     e.K.Cost(),
+		cache:    make(map[uint64][]byte),
+		proposed: make(map[int]bool),
+	}
+}
+
+// classifyPlan classifies one plan against the shared context; see
+// classifyPlans for the batch loop and the streaming commit for the
+// per-candidate pipelined call site.
+func (e *Engine) classifyPlan(pl *plan, ctx *classifyCtx) *trace.Event {
+	if e.LazyInstall {
+		if reason := e.vetSpeculation(pl, ctx.proposed); reason == "" {
+			pl.lazy = true
+		} else {
+			pl.fallbackReason = reason
+		}
+	}
+	if pl.lazy {
+		return e.classifyLazy(pl, ctx.cost)
+	}
+	return e.classifyEager(pl, ctx.cost, ctx.cache)
 }
 
 // vetSpeculation is the lazy install's read-only safety check: it returns ""

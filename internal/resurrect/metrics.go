@@ -2,9 +2,11 @@ package resurrect
 
 import (
 	"sort"
+	"strconv"
 
 	"otherworld/internal/metrics"
 	"otherworld/internal/phys"
+	"otherworld/internal/sched"
 )
 
 // pageBytes is the page size as an int64 for counter arithmetic.
@@ -94,5 +96,35 @@ func (e *Engine) publish(rep *Report) {
 		"block-sorted extents the write-combining queue issued (one seek each)", nil).Add(extents)
 	reg.Gauge("resurrect_pagetable_fraction",
 		"page-table share of main-kernel data read (Table 4)", nil).Set(rep.Acct.PageTableFraction())
+	// Index-assisted discovery and streaming admission, both derived only
+	// from fingerprinted report fields so the snapshot stays width-stable.
+	if rep.IndexUsed > 0 || rep.IndexSkipped > 0 || rep.IndexFallback != "" {
+		reg.Counter("resurrect_index_entries_total",
+			"candidates discovered from the salvaged index", nil).Add(int64(rep.IndexUsed))
+		reg.Counter("resurrect_index_skipped_total",
+			"index slots skipped as corrupt or stale (skip-and-count)", nil).Add(int64(rep.IndexSkipped))
+		if rep.IndexFallback != "" {
+			reg.Counter("resurrect_index_fallbacks_total",
+				"discovery passes that fell back to the full process-list walk", nil).Inc()
+		}
+	}
+	if rep.Streamed {
+		var admitted [sched.NumTiers]int64
+		for _, t := range rep.Tiers {
+			admitted[sched.ClampTier(t)]++
+		}
+		for t := 0; t < sched.NumTiers; t++ {
+			if admitted[t] == 0 {
+				continue
+			}
+			l := metrics.Labels{"tier": strconv.Itoa(t)}
+			reg.Counter("resurrect_admit_total",
+				"candidates admitted to the streaming pass, by SLO tier", l).Add(admitted[t])
+			if d, ok := rep.TierFirstResumeAt(CanonicalWorkers, t); ok {
+				reg.Gauge("resurrect_admit_first_resume_ns",
+					"modeled time-to-first-resume per tier at the canonical width", l).Set(float64(d))
+			}
+		}
+	}
 	rep.Trace.CollectInto(reg)
 }

@@ -3,6 +3,8 @@ package resurrect
 import (
 	"runtime"
 	"time"
+
+	"otherworld/internal/sched"
 )
 
 // CanonicalWorkers is the worker count every *rendered* parallel number is
@@ -91,6 +93,12 @@ func sumSpans(spans []time.Duration) time.Duration {
 func (r *Report) ScheduleAt(workers int) time.Duration {
 	if workers < 1 {
 		workers = 1
+	}
+	if r.Streamed && r.hasSplit() {
+		// Streamed pass: the pipelined-commit schedule over the blocked
+		// spans (scan fan-out, commits behind the admission-order cursor).
+		_, makespan, _ := sched.Pipeline(r.PerScan, r.blockedSpans(), workers)
+		return r.Prologue + makespan
 	}
 	return r.Prologue + maxSpan(shardSpans(r.PerCandidate, workers))
 }

@@ -36,8 +36,11 @@ func (t *Tree) Render() string {
 	fmt.Fprintf(&b, "  shares sum=%v of %v\n", sum, cp.Interruption)
 
 	if n := len(t.FirstTouch); n > 0 {
+		p50, _ := Percentile(t.FirstTouch, 50)
+		p95, _ := Percentile(t.FirstTouch, 95)
+		p99, _ := Percentile(t.FirstTouch, 99)
 		fmt.Fprintf(&b, "first-touch stalls: n=%d p50=%v p95=%v p99=%v\n",
-			n, Percentile(t.FirstTouch, 50), Percentile(t.FirstTouch, 95), Percentile(t.FirstTouch, 99))
+			n, p50, p95, p99)
 	}
 	return b.String()
 }
@@ -67,19 +70,21 @@ func renderSpan(b *strings.Builder, s *Span, depth int) {
 // Percentile returns the p-th percentile of samples by the nearest-rank
 // method over a sorted copy — integer rank math, no interpolation, so the
 // same samples give the same answer on every platform. p is clamped to
-// [0, 100]; an empty sample set yields 0.
-func Percentile(samples []time.Duration, p int) time.Duration {
+// [0, 100]. The second return is false when the sample set is empty: a
+// percentile of nothing is not 0, and callers must render it as n/a (an
+// empty SLO tier used to show up as a fake "0/0/0" row).
+func Percentile(samples []time.Duration, p int) (time.Duration, bool) {
 	if len(samples) == 0 {
-		return 0
+		return 0, false
 	}
 	s := append([]time.Duration(nil), samples...)
 	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
 	if p <= 0 {
-		return s[0]
+		return s[0], true
 	}
 	if p >= 100 {
-		return s[len(s)-1]
+		return s[len(s)-1], true
 	}
 	rank := (p*len(s) + 99) / 100 // ceil(p/100 * n), nearest-rank
-	return s[rank-1]
+	return s[rank-1], true
 }

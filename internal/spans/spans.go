@@ -184,13 +184,25 @@ func Build(in Input) (*Tree, error) {
 		Note: "trace salvage + candidate listing + swap resolution",
 	})
 	cum := outside + rep.Prologue
+	// A streamed pass reports each candidate's SLO admission tier; the tree
+	// then groups candidate rows into per-tier Perfetto lanes (TID block
+	// 1000·(tier+1)) and stamps the tier on the span note. Batch reports
+	// carry no tiers and keep the classic candidate-index rows, so existing
+	// goldens are untouched.
+	tiered := rep.Streamed && len(rep.Tiers) == len(rep.PerCandidate)
 	for i, blocked := range rep.PerCandidate {
 		cand := &Span{Cat: CatCandidate, Start: cum, Dur: blocked, TID: i + 1}
+		if tiered {
+			cand.TID = 1000*(rep.Tiers[i]+1) + i + 1
+		}
 		if i < len(rep.Procs) {
 			pr := &rep.Procs[i]
 			cand.PID = pr.Candidate.PID
 			cand.Name = fmt.Sprintf("pid %d %s", pr.Candidate.PID, pr.Candidate.Name)
 			cand.Note = pr.Outcome.String()
+			if tiered {
+				cand.Note = fmt.Sprintf("tier-%d %s", rep.Tiers[i], pr.Outcome.String())
+			}
 			off := cum
 			for _, st := range pr.Timeline {
 				cat := CatPhase

@@ -163,12 +163,21 @@ func TestPercentileNearestRank(t *testing.T) {
 		want time.Duration
 	}{{0, 1}, {20, 1}, {50, 3}, {95, 5}, {99, 5}, {100, 5}, {-5, 1}, {150, 5}}
 	for _, c := range cases {
-		if got := Percentile(s, c.p); got != c.want {
-			t.Errorf("Percentile(p=%d) = %v, want %v", c.p, got, c.want)
+		got, ok := Percentile(s, c.p)
+		if !ok || got != c.want {
+			t.Errorf("Percentile(p=%d) = %v, %v, want %v, true", c.p, got, ok, c.want)
 		}
 	}
-	if got := Percentile(nil, 50); got != 0 {
-		t.Errorf("empty Percentile = %v, want 0", got)
+	// Regression: a percentile over zero samples must report the absence
+	// instead of a silent 0 (which rendered as a fake "0/0/0" table cell
+	// for tiers and apps with no recoveries at all).
+	for _, p := range []int{0, 50, 99, 100} {
+		if got, ok := Percentile(nil, p); ok || got != 0 {
+			t.Errorf("empty Percentile(p=%d) = %v, %v, want 0, false", p, got, ok)
+		}
+		if got, ok := Percentile([]time.Duration{}, p); ok || got != 0 {
+			t.Errorf("empty-slice Percentile(p=%d) = %v, %v, want 0, false", p, got, ok)
+		}
 	}
 }
 
